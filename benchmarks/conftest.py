@@ -1,0 +1,51 @@
+"""Shared benchmark configuration.
+
+Each bench regenerates one paper artifact (table or figure), asserts its
+reproduction contract (who wins, by roughly what factor), saves the
+rendered artifact under ``benchmarks/out/``, and reports a timing via
+pytest-benchmark.
+
+``REPRO_SCALE`` (default 0.25 here) shrinks the corpora proportionally;
+set ``REPRO_SCALE=1.0`` for a full-fidelity regeneration of the paper's
+corpus sizes (980 + 770 ground truth, 7489 + 1500 validation).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+#: Bench corpus scale (fraction of the paper's corpus sizes).
+BENCH_SCALE = float(os.environ.get("REPRO_SCALE", "0.25"))
+BENCH_SEED = 7
+
+_OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    """Directory collecting the rendered tables/figures."""
+    _OUT_DIR.mkdir(exist_ok=True)
+    return _OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    """Callable writing one rendered artifact to disk and stdout."""
+
+    def _save(name: str, text: str) -> None:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_shared_context():
+    """Build the shared ground-truth corpus + features once per session."""
+    from repro.experiments.context import cached_features
+
+    cached_features(BENCH_SEED, BENCH_SCALE)

@@ -1,0 +1,79 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out.
+
+* voting: probability averaging vs majority vote (Section V-A claims
+  averaging reduces variance — we check F-score parity-or-better and
+  compare fold-to-fold FPR spread);
+* forest: N_t / N_f sweep around the paper's tuned (20, log2+1) point;
+* threshold: the clue redirect-threshold l as a work valve;
+* whitelist: trusted-vendor weeding as a noise valve.
+"""
+
+from repro.experiments import ablations
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_bench_ablation_voting(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        ablations.run_voting, args=(BENCH_SEED, BENCH_SCALE),
+        kwargs={"k": 10}, rounds=1, iterations=1,
+    )
+    average = results["average"]
+    majority = results["majority"]
+    # Averaging matches or beats majority voting on accuracy.
+    assert average["f_score"] >= majority["f_score"] - 0.015
+    assert average["roc_area"] >= majority["roc_area"] - 0.01
+    save_artifact("ablation_voting",
+                  ablations.report_voting(BENCH_SEED, BENCH_SCALE))
+
+
+def test_bench_ablation_forest(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        ablations.run_forest_sweep, args=(BENCH_SEED, BENCH_SCALE),
+        kwargs={"tree_counts": (5, 20, 40), "k": 5}, rounds=1, iterations=1,
+    )
+    paper_config = results["Nt=20,Nf=log2+1"]
+    tiny = results["Nt=5,Nf=log2+1"]
+    # The paper's tuned point performs at least as well as a small
+    # ensemble, and more trees do not collapse accuracy.
+    assert paper_config["f_score"] >= tiny["f_score"] - 0.01
+    assert results["Nt=40,Nf=log2+1"]["f_score"] > 0.9
+    save_artifact("ablation_forest",
+                  ablations.report_forest_sweep(BENCH_SEED, BENCH_SCALE))
+
+
+def test_bench_ablation_threshold(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        ablations.run_threshold_sweep, args=(BENCH_SEED, BENCH_SCALE),
+        kwargs={"thresholds": (1, 2, 3, 5, 8)}, rounds=1, iterations=1,
+    )
+    # More permissive thresholds never classify less.
+    work = [results[t]["classifications"] for t in (1, 2, 3, 5, 8)]
+    assert all(a >= b for a, b in zip(work, work[1:]))
+    # The alert set stays in the paper's ballpark at the paper's l=3.
+    assert 3 <= results[3]["alerts"] <= 8
+    lines = ["Ablation: clue redirect-threshold sweep (forensic stream)",
+             "l  alerts  classifications  watches"]
+    for threshold in (1, 2, 3, 5, 8):
+        row = results[threshold]
+        lines.append(
+            f"{threshold}  {row['alerts']:6d}  "
+            f"{row['classifications']:15d}  {row['watches']:7d}"
+        )
+    save_artifact("ablation_threshold", "\n".join(lines))
+
+
+def test_bench_ablation_whitelist(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        ablations.run_whitelist, args=(BENCH_SEED, BENCH_SCALE),
+        rounds=1, iterations=1,
+    )
+    with_weeding = results["on"]
+    without = results["off"]
+    assert with_weeding["weeded"] >= 50  # the injected vendor downloads
+    assert without["weeded"] == 0
+    # Weeding reduces (or at worst matches) classifier work.
+    assert with_weeding["classifications"] <= without["classifications"]
+    lines = ["Ablation: trusted-vendor weeding",
+             f"on : {with_weeding}",
+             f"off: {without}"]
+    save_artifact("ablation_whitelist", "\n".join(lines))

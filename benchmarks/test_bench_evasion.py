@@ -1,0 +1,36 @@
+"""Bench evasion: measure the Section VII adversarial predictions.
+
+Reproduction contract: baseline episodes are detected at the headline
+rate; cloaking any single dynamic (redirects, post-download call-backs,
+payload type) costs only a few points — "the prediction score averaging
+... reduces the variance" keeps partial evidence decisive; cloaking
+everything at once (full stealth, approximating fileless infection)
+produces the largest drop — "DynaMiner may not be able to detect as the
+resulting WCG will miss the most revealing features."
+"""
+
+from repro.experiments import evasion
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_bench_evasion(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        evasion.run, args=(BENCH_SEED, BENCH_SCALE),
+        kwargs={"episodes_per_mode": 60}, rounds=1, iterations=1,
+    )
+    baseline = results["baseline"]
+    assert baseline["detection_rate"] > 0.9
+    assert baseline["mean_score"] > 0.8
+
+    # Single-dynamic cloaks: bounded degradation (mean score is the
+    # robust signal — thresholded rates swing near the cut).
+    for mode in ("cloaked-redirects", "no-post-download",
+                 "compressed-payload"):
+        assert results[mode]["mean_score"] > 0.6, mode
+
+    # Full stealth is the most effective evasion by a wide margin.
+    stealth_score = results["full-stealth"]["mean_score"]
+    assert stealth_score == min(m["mean_score"] for m in results.values())
+    assert stealth_score < baseline["mean_score"] - 0.25
+
+    save_artifact("evasion", evasion.report(BENCH_SEED, BENCH_SCALE))

@@ -1,0 +1,29 @@
+"""Bench fig10: regenerate the ERF ROC curve (Figure 10).
+
+Reproduction contract: pooled out-of-fold ROC over the ground truth has
+an area near the paper's 0.978 and passes close to the paper's
+operating point (TPR ~0.97 at FPR ~0.015).
+"""
+
+import numpy as np
+
+from repro.experiments import fig10
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_bench_fig10(benchmark, save_artifact):
+    data = benchmark.pedantic(
+        fig10.run, args=(BENCH_SEED, BENCH_SCALE), kwargs={"k": 10},
+        rounds=1, iterations=1,
+    )
+    fpr, tpr = data["fpr"], data["tpr"]
+
+    assert data["auc"] > 0.96  # paper ROC area: 0.978
+    # Curve validity.
+    assert np.all(np.diff(fpr) >= 0)
+    assert np.all(np.diff(tpr) >= 0)
+    # The paper's operating point: TPR >= 0.95 reachable at FPR <= 0.05.
+    reachable = tpr[fpr <= 0.05]
+    assert reachable.size and reachable.max() >= 0.93
+
+    save_artifact("fig10", fig10.report(BENCH_SEED, BENCH_SCALE))

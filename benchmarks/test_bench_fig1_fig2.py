@@ -1,0 +1,50 @@
+"""Bench fig1/fig2: regenerate the enticement distributions.
+
+Reproduction contract (Figure 1): search engines dominate (Google >
+Bing > everything else), concealed referrers are a double-digit share,
+compromised sites are a double-digit share, social networks are <2%.
+Figure 2: per-family distributions exist for all 10 families and search
+remains the top strategy for the big families.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_bench_fig1(benchmark, save_artifact):
+    dist = benchmark.pedantic(
+        figures.run_fig1, args=(BENCH_SEED, BENCH_SCALE), rounds=1,
+        iterations=1,
+    )
+    assert sum(dist.values()) == pytest.approx(1.0)
+    # Paper: Google 37%, Bing 25%, empty 17.76%, compromised 12.84%.
+    assert dist["google"] == pytest.approx(0.37, abs=0.10)
+    assert dist["bing"] == pytest.approx(0.25, abs=0.10)
+    assert dist["google"] > dist["bing"]
+    assert dist["google"] + dist["bing"] > 0.5
+    assert dist["empty"] + dist["redacted"] > 0.12
+    assert dist["compromised"] > 0.05
+    assert dist["social"] < 0.03
+    save_artifact("fig1", figures.report_fig1(BENCH_SEED, BENCH_SCALE))
+
+
+def test_bench_fig2(benchmark, save_artifact):
+    per_family = benchmark.pedantic(
+        figures.run_fig2, args=(BENCH_SEED, BENCH_SCALE), rounds=1,
+        iterations=1,
+    )
+    assert len(per_family) == 10
+    lines = ["Fig. 2 (reproduced): per-family enticement distribution"]
+    for family, dist in per_family.items():
+        assert sum(dist.values()) == pytest.approx(1.0)
+        top = max(dist, key=dist.get)
+        lines.append(
+            f"{family:12s} top={top:11s} "
+            + " ".join(f"{k}={v:.2f}" for k, v in dist.items() if v > 0)
+        )
+    # Search engines consistently rank top for the largest family.
+    angler = per_family["Angler"]
+    assert angler["google"] + angler["bing"] > 0.4
+    save_artifact("fig2", "\n".join(lines))

@@ -1,0 +1,42 @@
+"""Bench fig3: regenerate the average graph-property comparison.
+
+Reproduction contract (Section II-C): infection WCGs average more nodes
+and higher diameter; lower degree-, closeness-, and betweenness-
+centrality; higher load centrality, degree-connectivity, neighbor
+degree; lower average PageRank (mean PageRank is 1/order and infections
+have more nodes — see repro.features.graph docstring).
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_bench_fig3(benchmark, save_artifact):
+    data = benchmark.pedantic(
+        figures.run_fig3, args=(BENCH_SEED, BENCH_SCALE), rounds=1,
+        iterations=1,
+    )
+
+    def infection(prop):
+        return data[prop]["infection"]
+
+    def benign(prop):
+        return data[prop]["benign"]
+
+    # Basic properties: infections bigger and longer.
+    assert infection("order") > benign("order")
+    assert infection("diameter") > benign("diameter")
+    # Centrality: lower for infections except load centrality.
+    assert infection("avg_degree_centrality") < \
+        benign("avg_degree_centrality")
+    assert infection("avg_closeness_centrality") < \
+        benign("avg_closeness_centrality")
+    assert infection("avg_betweenness_centrality") < \
+        benign("avg_betweenness_centrality")
+    assert infection("avg_load_centrality") > benign("avg_load_centrality")
+    # Connectedness: higher degree-connectivity and neighbor degree.
+    assert infection("avg_degree_connectivity") > \
+        benign("avg_degree_connectivity")
+    assert infection("avg_neighbor_degree") > benign("avg_neighbor_degree")
+
+    save_artifact("fig3", figures.report_fig3(BENCH_SEED, BENCH_SCALE))

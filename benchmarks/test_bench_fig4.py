@@ -1,0 +1,33 @@
+"""Bench fig4: regenerate the HTTP-header element comparison.
+
+Reproduction contract (Section II-D): infections average visibly more
+GET and POST requests, redirection chains, and 40x responses than
+benign traces; a typical infection has at least one redirect chain
+while a typical benign trace has none.
+"""
+
+from repro.experiments import figures
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_bench_fig4(benchmark, save_artifact):
+    data = benchmark.pedantic(
+        figures.run_fig4, args=(BENCH_SEED, BENCH_SCALE), rounds=1,
+        iterations=1,
+    )
+
+    def infection(element):
+        return data[element]["infection"]
+
+    def benign(element):
+        return data[element]["benign"]
+
+    assert infection("get") > benign("get")
+    assert infection("post") > benign("post")
+    assert infection("http_40x") > 2 * benign("http_40x")
+    assert infection("redirect_chains") > 3 * benign("redirect_chains")
+    # A typical infection has a redirect chain; a typical benign none.
+    assert infection("redirect_chains") >= 0.5
+    assert benign("redirect_chains") < 0.5
+
+    save_artifact("fig4", figures.report_fig4(BENCH_SEED, BENCH_SCALE))

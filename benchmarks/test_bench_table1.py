@@ -1,0 +1,41 @@
+"""Bench table1: regenerate Table I (ground-truth dataset statistics).
+
+Reproduction contract: 11 rows (benign + 10 families); infection rows
+average more hosts and redirects than the benign row; ransomware
+payloads appear only in infection rows; post-download call-backs in
+~92% of infections; WCG lifetimes within the 0.5-4061 s band.
+"""
+
+from repro.experiments import table1
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_bench_table1(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        table1.run, args=(BENCH_SEED, BENCH_SCALE), rounds=1, iterations=1
+    )
+
+    rows = results["rows"]
+    assert len(rows) == 11
+    benign = rows[0]
+    infection_rows = rows[1:]
+
+    weighted_hosts = sum(r.hosts_avg * r.n_traces for r in infection_rows)
+    weighted_hosts /= sum(r.n_traces for r in infection_rows)
+    assert weighted_hosts > benign.hosts_avg
+
+    weighted_redirects = sum(
+        r.redirects_avg * r.n_traces for r in infection_rows
+    ) / sum(r.n_traces for r in infection_rows)
+    assert weighted_redirects > benign.redirects_avg
+
+    assert benign.payload_counts.get("crypt", 0) == 0
+    assert sum(r.payload_counts.get("crypt", 0) for r in infection_rows) > 0
+
+    assert 0.80 <= results["callback_prevalence"] <= 1.0  # paper: 91.9%
+    props = results["global"]
+    assert props.lifetime_min >= 0.4
+    assert props.lifetime_max <= 4061.0
+    assert props.nodes_min >= 2
+
+    save_artifact("table1", table1.report(BENCH_SEED, BENCH_SCALE))

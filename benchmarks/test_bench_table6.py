@@ -1,0 +1,36 @@
+"""Bench table6: regenerate the live mini-enterprise case study.
+
+Reproduction contract (Table VI): three monitored hosts; ~62 downloads
+with the per-host payload mix; DynaMiner raises ~8 alerts distributed
+4/3/1 across Windows/Ubuntu/MacOS; the two content-borne PDFs on the
+Windows host are flagged by VirusTotal but not by DynaMiner (its
+expected payload-agnostic miss).
+"""
+
+from repro.experiments import table6
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_bench_table6(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        table6.run, args=(BENCH_SEED, BENCH_SCALE), rounds=1, iterations=1,
+    )
+    alerts = results["per_host_alerts"]
+
+    # Paper: 62 downloads; ours tracks the same mix.
+    assert 40 <= results["total_downloads"] <= 75
+    # Paper: 8 alerts total, 4 Windows / 3 Ubuntu / 1 MacOS.  Our
+    # reproduction carries a documented benign-webmail false-alert
+    # residue (EXPERIMENTS.md, deviation 4), so the contract is: within
+    # 2x of the paper's count, with the per-host ordering preserved.
+    assert 6 <= results["total_alerts"] <= 16
+    assert alerts["win-host"] >= alerts["ubuntu-host"] >= \
+        alerts["macos-host"]
+    assert alerts["macos-host"] >= 1
+
+    # VirusTotal flags the infectious downloads plus the content-borne
+    # PDFs DynaMiner cannot see into (paper: 8 + 2).
+    assert results["vt_flagged"] >= results["session"].infectious_episodes
+    assert results["content_pdf_flagged_by_vt"] >= 1
+
+    save_artifact("table6", table6.report(BENCH_SEED, BENCH_SCALE))

@@ -1,0 +1,89 @@
+"""Throughput benches: the operational cost of on-the-wire detection.
+
+The paper argues DynaMiner "can be deployed at the network level for
+real-time malware detection"; these benches put numbers on that claim
+for this implementation: end-to-end stream throughput (transactions/s
+through the full session-table + clue + classify pipeline), raw feature
+extraction latency per WCG, and classifier scoring latency.
+
+These are genuine pytest-benchmark timings (multiple rounds), unlike the
+artifact benches which run their experiment once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_wcg
+from repro.detection.clues import CluePolicy
+from repro.detection.detector import OnTheWireDetector
+from repro.experiments.context import (
+    cached_ground_truth,
+    trained_classifier,
+)
+from repro.features.extractor import FeatureExtractor
+from repro.synthesis.casestudy import forensic_streaming_session
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return trained_classifier(BENCH_SEED, BENCH_SCALE)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return forensic_streaming_session(seed=2016).trace.transactions
+
+
+def test_bench_detector_throughput(benchmark, classifier, stream):
+    """Full pipeline: route + watch + clue + classify, per stream."""
+
+    def _replay():
+        detector = OnTheWireDetector(
+            classifier, policy=CluePolicy(redirect_threshold=3)
+        )
+        detector.process_stream(stream)
+        detector.finalize()
+        return detector.transactions_seen
+
+    seen = benchmark.pedantic(_replay, rounds=3, iterations=1)
+    assert seen == len(stream)
+    rate = seen / benchmark.stats.stats.mean
+    print(f"\ndetector throughput: {rate:,.0f} transactions/s "
+          f"over {seen} transactions")
+    # Real-time viability: the paper's 48-h mini-enterprise averaged
+    # well under 1 transaction/s; demand orders of magnitude of headroom
+    # (measured ~1k txn/s on commodity hardware; assert conservatively
+    # so slower CI boxes stay green).
+    assert rate > 300
+
+
+def test_bench_feature_extraction_latency(benchmark):
+    """Per-WCG cost of extracting all 37 features."""
+    corpus = cached_ground_truth(BENCH_SEED, BENCH_SCALE)
+    wcgs = [build_wcg(t) for t in corpus.infections[:50]]
+    extractor = FeatureExtractor()
+
+    def _extract_all():
+        return [extractor.extract(wcg) for wcg in wcgs]
+
+    vectors = benchmark.pedantic(_extract_all, rounds=3, iterations=1)
+    assert len(vectors) == len(wcgs)
+    per_wcg = benchmark.stats.stats.mean / len(wcgs)
+    print(f"\nfeature extraction: {per_wcg * 1000:.2f} ms per WCG")
+    assert per_wcg < 0.1  # well under the inter-transaction budget
+
+
+def test_bench_classifier_latency(benchmark, classifier):
+    """Scoring latency for one feature vector (the per-update cost)."""
+    rng = np.random.default_rng(0)
+    batch = np.abs(rng.normal(size=(100, 37))) * 10
+
+    def _score():
+        return classifier.decision_scores(batch)
+
+    scores = benchmark.pedantic(_score, rounds=5, iterations=2)
+    assert scores.shape == (100,)
+    per_vector = benchmark.stats.stats.mean / 100
+    print(f"\nclassifier scoring: {per_vector * 1e6:.1f} us per WCG")
+    assert per_vector < 0.01

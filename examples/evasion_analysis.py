@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Section VII, measured: how evasion strategies fare against DynaMiner.
+
+The paper *discusses* how a determined adversary might evade the
+classifier (cloaked downloads, cloaked redirections, post-download
+tweaks).  This example measures those strategies against a classifier
+that has never seen the evasive behaviour — the zero-day setting the
+discussion assumes.
+
+Run:  python examples/evasion_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import evasion
+
+
+def main() -> None:
+    print("Training a classifier on a stealth-free ground truth,")
+    print("then attacking it with each Section VII evasion strategy ...\n")
+    results = evasion.run(seed=7, scale=0.2, episodes_per_mode=50)
+
+    width = max(len(mode) for mode in results)
+    for mode, metrics in results.items():
+        score = metrics["mean_score"]
+        bar = "#" * int(round(score * 40))
+        print(f"  {mode.ljust(width)}  {bar} score={score:.2f} "
+              f"(detected {metrics['detection_rate']:.0%})")
+
+    print("\nReading the result against the paper's predictions:")
+    print("  - Cloaking a single dynamic (redirects, call-backs, payload")
+    print("    type) barely dents detection: the ERF's probability")
+    print("    averaging keeps partial evidence decisive (Section VII,")
+    print("    'Cloaked download dynamics').")
+    print("  - Cloaking everything at once — the fileless-infection")
+    print("    approximation — collapses detection: 'the resulting WCG")
+    print("    will miss the most revealing features.'")
+
+
+if __name__ == "__main__":
+    main()

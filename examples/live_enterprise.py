@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Case Study 2: live detection as a mini-enterprise web proxy.
+
+Rebuilds the paper's Section VI-D deployment: DynaMiner in the proxy
+position of a three-host network (Windows/IE, Ubuntu/Firefox,
+MacOS/Chrome) over a 48-hour browsing window, reporting the Table VI
+per-host download mix and alert breakdown.
+
+Run:  python examples/live_enterprise.py
+"""
+
+from __future__ import annotations
+
+from repro.detection.clues import CluePolicy
+from repro.detection.detector import OnTheWireDetector
+from repro.detection.proxy import ProxySimulator
+from repro.experiments.context import trained_classifier
+from repro.synthesis.casestudy import enterprise_live_session
+
+HOSTS = ("win-host", "ubuntu-host", "macos-host")
+
+
+def main() -> None:
+    print("Building the 48-hour mini-enterprise stream ...")
+    session = enterprise_live_session(seed=48)
+    print(f"  {session.transaction_count} transactions across "
+          f"{len(session.clients)} hosts, "
+          f"{len(session.downloads)} downloads, "
+          f"{session.infectious_episodes} infectious episodes")
+
+    classifier = trained_classifier(seed=7, scale=0.2)
+    detector = OnTheWireDetector(
+        classifier, policy=CluePolicy(redirect_threshold=3)
+    )
+    print("Running the proxy ...")
+    report = ProxySimulator(detector).run([session.trace])
+
+    print(f"\nTable VI-style summary ({report.alert_count} alerts total):")
+    header = f"{'':24s}" + "".join(f"{h:>14s}" for h in HOSTS)
+    print(header)
+    by_host: dict[str, dict[str, int]] = {h: {} for h in HOSTS}
+    for record in session.downloads:
+        counts = by_host.setdefault(record.client, {})
+        counts[record.extension] = counts.get(record.extension, 0) + 1
+    for ext in ("pdf", "exe", "jar", "swf", "dmg", "zip"):
+        row = f"{ext.upper():24s}"
+        for host in HOSTS:
+            row += f"{by_host[host].get(ext, 0):>14d}"
+        print(row)
+    row = f"{'DynaMiner alerts':24s}"
+    for host in HOSTS:
+        row += f"{len(report.alerts_for(host)):>14d}"
+    print(row)
+
+    pdf_misses = [
+        d for d in session.downloads if d.content_borne and d.malicious
+    ]
+    print(f"\nContent-borne malicious PDFs on win-host: {len(pdf_misses)}")
+    print("DynaMiner (payload-agnostic) issues no alert for these — their")
+    print("maliciousness lives in embedded Flash, not in conversation")
+    print("dynamics.  The paper observed exactly this miss (Section VI-D).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Offline infection analytics: the Section II study and figure data."""
+
+from repro.analytics.exposure import (
+    EXPOSURE_CATEGORIES,
+    classify_origin,
+    exposure_distribution,
+    per_family_exposure,
+)
+from repro.analytics.graphprops import (
+    FIG3_PROPERTIES,
+    average_graph_properties,
+    class_feature_matrix,
+    feature_distribution,
+)
+from repro.analytics.headers import (
+    FIG4_ELEMENTS,
+    average_header_elements,
+    header_element_counts,
+)
+from repro.analytics.report import format_distribution, format_table
+from repro.analytics.study import (
+    FamilyRow,
+    GlobalProperties,
+    callback_prevalence,
+    global_properties,
+    table1_rows,
+)
+
+__all__ = [
+    "EXPOSURE_CATEGORIES",
+    "FIG3_PROPERTIES",
+    "FIG4_ELEMENTS",
+    "FamilyRow",
+    "GlobalProperties",
+    "average_graph_properties",
+    "average_header_elements",
+    "callback_prevalence",
+    "class_feature_matrix",
+    "classify_origin",
+    "exposure_distribution",
+    "feature_distribution",
+    "format_distribution",
+    "format_table",
+    "global_properties",
+    "header_element_counts",
+    "per_family_exposure",
+    "table1_rows",
+]

@@ -1,0 +1,82 @@
+"""Graph-property aggregates: Figure 3 and the Figure 7-9 distributions.
+
+Figure 3 compares average measures of twelve graph properties between
+infection and benign WCGs; Figures 7-9 show the per-WCG distributions of
+average node connectivity, betweenness centrality, and closeness
+centrality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builder import build_wcg
+from repro.core.model import Trace
+from repro.features.extractor import FeatureExtractor
+from repro.features.registry import feature_names
+
+__all__ = ["FIG3_PROPERTIES", "average_graph_properties",
+           "feature_distribution", "class_feature_matrix"]
+
+#: The properties plotted in Figure 3, by feature name.
+FIG3_PROPERTIES = (
+    "order", "size", "diameter", "degree", "volume", "density",
+    "avg_degree_centrality", "avg_closeness_centrality",
+    "avg_betweenness_centrality", "avg_load_centrality",
+    "avg_degree_connectivity", "avg_neighbor_degree", "avg_pagerank",
+)
+
+
+def class_feature_matrix(
+    traces: list[Trace],
+) -> tuple[np.ndarray, np.ndarray, list[str]]:
+    """Extract (X, y, names) over labelled traces (helper for figures)."""
+    extractor = FeatureExtractor()
+    rows = []
+    labels = []
+    for trace in traces:
+        rows.append(extractor.extract(build_wcg(trace)))
+        labels.append(1.0 if trace.is_infection else 0.0)
+    return np.vstack(rows), np.array(labels), feature_names()
+
+
+def average_graph_properties(
+    traces: list[Trace],
+) -> dict[str, dict[str, float]]:
+    """Figure 3 data: mean of each graph property per class.
+
+    Returns ``{property: {"infection": mean, "benign": mean}}``.
+    """
+    X, y, names = class_feature_matrix(traces)
+    result: dict[str, dict[str, float]] = {}
+    for prop in FIG3_PROPERTIES:
+        column = X[:, names.index(prop)]
+        result[prop] = {
+            "infection": float(column[y == 1].mean()) if (y == 1).any() else 0.0,
+            "benign": float(column[y == 0].mean()) if (y == 0).any() else 0.0,
+        }
+    return result
+
+
+def feature_distribution(
+    traces: list[Trace],
+    feature: str,
+    bins: int = 20,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Figures 7-9 data: per-class histogram of one feature.
+
+    Returns ``{"infection": (counts, edges), "benign": (counts, edges)}``
+    over a shared bin grid.
+    """
+    X, y, names = class_feature_matrix(traces)
+    column = X[:, names.index(feature)]
+    lo, hi = float(column.min()), float(column.max())
+    if hi <= lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    inf_counts, _ = np.histogram(column[y == 1], bins=edges)
+    ben_counts, _ = np.histogram(column[y == 0], bins=edges)
+    return {
+        "infection": (inf_counts, edges),
+        "benign": (ben_counts, edges),
+    }

@@ -1,0 +1,82 @@
+"""HTTP-header statistics (Section II-D, Figure 4).
+
+Average counts of header elements per trace, compared between infection
+and benign classes: GET/POST requests, redirection chains, response-code
+classes, and referrer presence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import HttpMethod, Trace
+from repro.core.redirects import (
+    RedirectKind,
+    infer_redirects,
+    longest_chain_length,
+)
+
+__all__ = ["FIG4_ELEMENTS", "header_element_counts", "average_header_elements"]
+
+#: Figure 4 x-axis categories.
+FIG4_ELEMENTS = (
+    "get", "post", "redirect_chains", "http_20x", "http_30x", "http_40x",
+    "http_50x", "with_referrer", "no_referrer",
+)
+
+
+def header_element_counts(trace: Trace) -> dict[str, float]:
+    """Per-trace counts of the Figure 4 header elements."""
+    counts = {element: 0.0 for element in FIG4_ELEMENTS}
+    for txn in trace.transactions:
+        if txn.request.method is HttpMethod.GET:
+            counts["get"] += 1
+        elif txn.request.method is HttpMethod.POST:
+            counts["post"] += 1
+        if txn.request.referrer:
+            counts["with_referrer"] += 1
+        else:
+            counts["no_referrer"] += 1
+        klass = txn.status // 100
+        if klass == 2:
+            counts["http_20x"] += 1
+        elif klass == 3:
+            counts["http_30x"] += 1
+        elif klass == 4:
+            counts["http_40x"] += 1
+        elif klass == 5:
+            counts["http_50x"] += 1
+    genuine = [
+        r for r in infer_redirects(trace.transactions)
+        if r.kind is not RedirectKind.REFERRER
+    ]
+    counts["redirect_chains"] = float(longest_chain_length(genuine))
+    return counts
+
+
+def average_header_elements(
+    traces: list[Trace],
+) -> dict[str, dict[str, float]]:
+    """Figure 4 data: mean of each element per class.
+
+    Returns ``{element: {"infection": mean, "benign": mean}}``.
+    """
+    sums = {
+        "infection": {element: [] for element in FIG4_ELEMENTS},
+        "benign": {element: [] for element in FIG4_ELEMENTS},
+    }
+    for trace in traces:
+        side = "infection" if trace.is_infection else "benign"
+        counts = header_element_counts(trace)
+        for element in FIG4_ELEMENTS:
+            sums[side][element].append(counts[element])
+    result: dict[str, dict[str, float]] = {}
+    for element in FIG4_ELEMENTS:
+        result[element] = {
+            side: float(np.mean(values)) if values else 0.0
+            for side, values in (
+                ("infection", sums["infection"][element]),
+                ("benign", sums["benign"][element]),
+            )
+        }
+    return result

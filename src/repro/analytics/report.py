@@ -1,0 +1,53 @@
+"""Plain-text table/figure rendering for experiment reports.
+
+Every experiment runner prints through these helpers so the bench output
+visually matches the paper's tables (rows/columns in the same order).
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_distribution"]
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_distribution(
+    labels: list[str],
+    values: list[float],
+    title: str = "",
+    width: int = 40,
+) -> str:
+    """Render a labelled horizontal bar chart (for figure reproductions)."""
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

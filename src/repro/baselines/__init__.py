@@ -1,0 +1,30 @@
+"""Prior-work baseline abstractions the paper positions itself against.
+
+* :mod:`repro.baselines.downloader_graph` — Kwon et al. [12] download
+  graphs (files as nodes).
+* :mod:`repro.baselines.redirect_chain` — SpiderWeb [25] / Mekky et
+  al. [14] redirection-chain properties.
+
+Both feed the same ERF so the comparison isolates the *abstraction*, not
+the learner — quantifying the paper's claim that DynaMiner's
+comprehensive WCG "differs from this body of work in its richer
+abstraction" (Section VIII).
+"""
+
+from repro.baselines.downloader_graph import (
+    DOWNLOADER_FEATURES,
+    build_download_graph,
+    downloader_features,
+)
+from repro.baselines.redirect_chain import (
+    REDIRECT_FEATURES,
+    redirect_features,
+)
+
+__all__ = [
+    "DOWNLOADER_FEATURES",
+    "REDIRECT_FEATURES",
+    "build_download_graph",
+    "downloader_features",
+    "redirect_features",
+]

@@ -1,0 +1,223 @@
+"""Command-line interface: the DynaMiner tool workflow.
+
+Experiments (regenerate paper artifacts)::
+
+    dynaminer list
+    dynaminer run table3 [--scale 0.5] [--seed 7]
+    dynaminer run all
+
+Deployment workflow (train once, detect anywhere)::
+
+    dynaminer train --out model.json [--scale 0.5] [--seed 7]
+    dynaminer synth capture.pcap --kind angler [--seed 3]
+    dynaminer detect capture.pcap --model model.json [--threshold 0.7]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    baselines,
+    case_study1,
+    evasion,
+    families_breakdown,
+    fig10,
+    figures,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.experiments.context import DEFAULT_SCALE, DEFAULT_SEED
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Experiment id -> report callable(seed, scale).
+EXPERIMENTS = {
+    "table1": table1.report,
+    "fig1": figures.report_fig1,
+    "fig2": figures.report_fig2,
+    "fig3": figures.report_fig3,
+    "fig4": figures.report_fig4,
+    "table3": table3.report,
+    "table4": table4.report,
+    "fig10": fig10.report,
+    "table5": table5.report,
+    "cs1": case_study1.report,
+    "table6": table6.report,
+    "evasion": evasion.report,
+    "baselines": baselines.report,
+    "families": families_breakdown.report,
+    "ablation-voting": ablations.report_voting,
+    "ablation-forest": ablations.report_forest_sweep,
+}
+
+
+def _cmd_list() -> int:
+    print("available experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("  all")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment == "all":
+        names = list(EXPERIMENTS)
+    elif args.experiment in EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(f"=== {name} " + "=" * max(0, 60 - len(name)))
+        print(EXPERIMENTS[name](args.seed, args.scale))
+        print()
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.detection.training import training_matrix
+    from repro.learning.forest import EnsembleRandomForest
+    from repro.learning.persistence import save_forest
+    from repro.synthesis.corpus import ground_truth_corpus
+
+    print(f"building ground-truth corpus (seed={args.seed}, "
+          f"scale={args.scale}) ...")
+    corpus = ground_truth_corpus(seed=args.seed, scale=args.scale)
+    print(f"  {len(corpus.benign)} benign + {len(corpus.infections)} "
+          f"infection traces")
+    print("extracting WCG features (full traces + clue-time prefixes) ...")
+    X, y = training_matrix(corpus.traces, augment_prefixes=True)
+    print(f"  {X.shape[0]} training vectors x {X.shape[1]} features")
+    print("training the Ensemble Random Forest (Nt=20, Nf=log2+1) ...")
+    model = EnsembleRandomForest(n_trees=20, random_state=args.seed)
+    model.fit(X, y)
+    save_forest(model, args.out)
+    print(f"model written to {args.out}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.detection.clues import CluePolicy
+    from repro.detection.detector import DetectorConfig, OnTheWireDetector
+    from repro.detection.proxy import TrafficReplay
+    from repro.learning.persistence import load_forest
+    from repro.net.flows import transactions_from_packets
+    from repro.net.pcapng import read_capture
+
+    model = load_forest(args.model)
+    print(f"loaded model with {len(model.trees_)} trees from {args.model}")
+    linktype, packets = read_capture(args.pcap)
+    transactions = transactions_from_packets(packets, linktype)
+    print(f"decoded {len(packets)} packets -> {len(transactions)} "
+          f"HTTP transactions")
+    detector = OnTheWireDetector(
+        model,
+        policy=CluePolicy(redirect_threshold=args.redirect_threshold),
+        config=DetectorConfig(alert_threshold=args.threshold),
+    )
+    report = TrafficReplay(detector).run(transactions)
+    print(f"{report.alert_count} alert(s); "
+          f"{report.classifications} classifications over "
+          f"{report.watches} session watches "
+          f"({report.weeded} transactions weeded as trusted)")
+    for alert in report.alerts:
+        print(
+            f"  ALERT client={alert.client} server={alert.clue.server} "
+            f"payload={alert.clue.payload_type.value} "
+            f"score={alert.score:.2f} "
+            f"wcg={alert.wcg_order}n/{alert.wcg_size}e"
+        )
+    return 0 if report.alert_count == 0 else 1
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.net.flows import packets_from_trace
+    from repro.net.pcap import write_pcap
+    from repro.synthesis.benign import BenignGenerator
+    from repro.synthesis.families import family_by_name
+    from repro.synthesis.infection import InfectionGenerator
+
+    rng = np.random.default_rng(args.seed)
+    if args.kind.lower() == "benign":
+        trace = BenignGenerator(rng).generate_session()
+        label = f"benign ({trace.meta.get('scenario')})"
+    else:
+        try:
+            profile = family_by_name(args.kind)
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        trace = InfectionGenerator(profile, rng).generate()
+        label = f"{profile.name} infection"
+    packets, _ = packets_from_trace(trace)
+    count = write_pcap(args.pcap, packets)
+    print(f"wrote {label}: {len(trace.transactions)} transactions, "
+          f"{count} packets -> {args.pcap}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="dynaminer",
+        description="DynaMiner reproduction: experiments and deployment.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run an experiment")
+    run_parser.add_argument("experiment",
+                            help="experiment id (see `list`) or 'all'")
+    run_parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    run_parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+
+    train_parser = subparsers.add_parser(
+        "train", help="train a classifier and save it as JSON"
+    )
+    train_parser.add_argument("--out", default="dynaminer-model.json")
+    train_parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    train_parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+
+    detect_parser = subparsers.add_parser(
+        "detect", help="replay a pcap through the on-the-wire detector"
+    )
+    detect_parser.add_argument("pcap", help="pcap file to analyze")
+    detect_parser.add_argument("--model", default="dynaminer-model.json")
+    detect_parser.add_argument("--threshold", type=float, default=0.7)
+    detect_parser.add_argument("--redirect-threshold", type=int, default=3)
+
+    synth_parser = subparsers.add_parser(
+        "synth", help="synthesize a labelled pcap capture"
+    )
+    synth_parser.add_argument("pcap", help="output pcap path")
+    synth_parser.add_argument(
+        "--kind", default="benign",
+        help="'benign' or an exploit-kit family name (e.g. Angler, RIG)",
+    )
+    synth_parser.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    if args.command == "list" or args.command is None:
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "detect":
+        return _cmd_detect(args)
+    if args.command == "synth":
+        return _cmd_synth(args)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,209 @@
+"""WCG construction from HTTP transaction streams (Section III-B).
+
+Construction steps, mirroring the paper: extract unique hosts as nodes;
+group transactions into host-pair conversations; derive request,
+response, and redirection edges; annotate nodes and edges with
+conversation attributes; prepend the *origin node* (the enticement
+source, or ``"empty"`` when concealed).
+"""
+
+from __future__ import annotations
+
+from repro.core.model import HttpTransaction, Trace
+from repro.core.redirects import Redirect, infer_redirects
+from repro.core.stages import Stage, assign_stages
+from repro.core.wcg import EdgeData, EdgeKind, NodeKind, WebConversationGraph
+from repro.core.payloads import is_exploit_type
+from repro.exceptions import GraphConstructionError
+
+__all__ = ["WCGBuilder", "build_wcg"]
+
+
+def _origin_of(transactions: list[HttpTransaction]) -> str:
+    """The enticement origin: referrer host of the earliest transaction."""
+    for txn in sorted(transactions, key=lambda t: t.timestamp):
+        ref = txn.request.referrer_host
+        if ref:
+            return ref
+        return ""  # first transaction has no referrer -> origin unknown
+    return ""
+
+
+class WCGBuilder:
+    """Incremental WCG builder.
+
+    Feed transactions with :meth:`add`; call :meth:`build` to (re)label
+    stages, infer redirect edges, and return the annotated graph.  The
+    on-the-wire detector reuses one builder per watched session so that
+    each new transaction triggers an incremental graph update
+    (Section V-B, "WCG classification and update").
+    """
+
+    def __init__(self, victim: str | None = None, origin: str | None = None):
+        self._victim = victim
+        self._origin = origin
+        self._transactions: list[HttpTransaction] = []
+        self._dirty = True
+        self._cached: WebConversationGraph | None = None
+
+    def add(self, txn: HttpTransaction) -> None:
+        """Append one transaction to the conversation."""
+        self._transactions.append(txn)
+        self._dirty = True
+
+    def extend(self, transactions: list[HttpTransaction]) -> None:
+        """Append many transactions at once."""
+        self._transactions.extend(transactions)
+        self._dirty = True
+
+    @property
+    def transaction_count(self) -> int:
+        """Number of transactions fed so far."""
+        return len(self._transactions)
+
+    def build(self) -> WebConversationGraph:
+        """Construct (or return the cached) annotated WCG."""
+        if not self._dirty and self._cached is not None:
+            return self._cached
+        if not self._transactions:
+            raise GraphConstructionError("no transactions to build a WCG from")
+        transactions = sorted(self._transactions, key=lambda t: t.timestamp)
+        victim = self._victim or transactions[0].client
+        origin = self._origin if self._origin is not None else _origin_of(transactions)
+        wcg = WebConversationGraph(victim=victim, origin=origin)
+
+        stages = assign_stages(transactions)
+        redirects = infer_redirects(transactions)
+        self._add_transaction_edges(wcg, transactions, stages)
+        self._add_redirect_edges(wcg, transactions, stages, redirects)
+        self._link_origin(wcg, transactions)
+        self._cached = wcg
+        self._dirty = False
+        return wcg
+
+    @staticmethod
+    def _add_transaction_edges(
+        wcg: WebConversationGraph,
+        transactions: list[HttpTransaction],
+        stages: list[Stage],
+    ) -> None:
+        for txn, stage in zip(transactions, stages):
+            request = txn.request
+            wcg.add_node(txn.client, kind=NodeKind.VICTIM if txn.client ==
+                         wcg.victim else NodeKind.REMOTE)
+            wcg.add_node(txn.server)
+            wcg.record_uri(txn.server, request.uri)
+            if request.dnt:
+                wcg.dnt = True
+            flash = request.headers.get("X-Flash-Version")
+            if flash:
+                wcg.x_flash_version = flash
+            wcg.add_edge(
+                txn.client,
+                txn.server,
+                EdgeData(
+                    kind=EdgeKind.REQUEST,
+                    timestamp=request.timestamp,
+                    stage=stage,
+                    method=request.method.value,
+                    uri_length=request.uri_length,
+                    referrer=request.referrer,
+                    user_agent=request.user_agent,
+                ),
+            )
+            if txn.response is None:
+                continue
+            ptype = txn.payload_type
+            wcg.record_payload(txn.server, ptype)
+            wcg.add_edge(
+                txn.server,
+                txn.client,
+                EdgeData(
+                    kind=EdgeKind.RESPONSE,
+                    timestamp=txn.response.timestamp,
+                    stage=stage,
+                    status=txn.status,
+                    payload_type=ptype,
+                    payload_size=txn.payload_size,
+                ),
+            )
+            if (
+                200 <= txn.status < 300
+                and is_exploit_type(ptype)
+                and txn.client == wcg.victim
+            ):
+                wcg.mark_malicious(txn.server)
+
+    @staticmethod
+    def _add_redirect_edges(
+        wcg: WebConversationGraph,
+        transactions: list[HttpTransaction],
+        stages: list[Stage],
+        redirects: list[Redirect],
+    ) -> None:
+        # Stage of a redirect edge = stage of the nearest transaction at
+        # or before the redirect's timestamp.
+        stamped = sorted(
+            zip((t.timestamp for t in transactions), stages), key=lambda p: p[0]
+        )
+
+        def _stage_at(ts: float) -> Stage:
+            chosen = Stage.PRE_DOWNLOAD
+            for stamp, stage in stamped:
+                if stamp <= ts:
+                    chosen = stage
+                else:
+                    break
+            return chosen
+
+        for redirect in redirects:
+            wcg.add_node(redirect.source, kind=NodeKind.REDIRECTOR)
+            wcg.add_node(redirect.target)
+            wcg.add_edge(
+                redirect.source,
+                redirect.target,
+                EdgeData(
+                    kind=EdgeKind.REDIRECT,
+                    timestamp=redirect.timestamp,
+                    stage=_stage_at(redirect.timestamp),
+                    redirect_kind=redirect.kind.value,
+                    cross_domain=redirect.cross_domain,
+                ),
+            )
+
+    @staticmethod
+    def _link_origin(
+        wcg: WebConversationGraph, transactions: list[HttpTransaction]
+    ) -> None:
+        """Connect the origin node to the first host the victim visited."""
+        first = min(transactions, key=lambda t: t.timestamp)
+        target = first.server
+        if wcg.origin == target:
+            return
+        wcg.add_edge(
+            wcg.origin,
+            target,
+            EdgeData(
+                kind=EdgeKind.REDIRECT,
+                timestamp=first.timestamp,
+                stage=Stage.PRE_DOWNLOAD,
+                redirect_kind="origin",
+                cross_domain=True,
+            ),
+        )
+
+
+def build_wcg(
+    source: Trace | list[HttpTransaction],
+    victim: str | None = None,
+    origin: str | None = None,
+) -> WebConversationGraph:
+    """One-shot WCG construction from a trace or transaction list."""
+    builder = WCGBuilder(victim=victim, origin=origin)
+    if isinstance(source, Trace):
+        builder.extend(source.transactions)
+        if origin is None and source.origin:
+            builder._origin = source.origin
+    else:
+        builder.extend(source)
+    return builder.build()

@@ -1,0 +1,120 @@
+"""Conversation-stage assignment (Section III-C, edge-level annotation).
+
+Each request/response pair in a WCG belongs to one of three stages:
+
+* **PRE_DOWNLOAD (0)** — the redirection run-up.  Per the paper: a GET
+  request, no known exploit payload downloaded to the victim prior to it,
+  and a 30x response code.  The *last* 30x marks the end of this stage.
+* **DOWNLOAD (1)** — everything between the redirection run-up and the
+  last 20x response whose content is a known exploit payload type.
+* **POST_DOWNLOAD (2)** — POST requests to nodes from which no known
+  exploit payload was downloaded, answered with 200 or 40x, after the
+  download stage completed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.model import HttpMethod, HttpTransaction
+from repro.core.payloads import is_exploit_type
+
+__all__ = ["Stage", "assign_stages"]
+
+
+class Stage(enum.IntEnum):
+    """Conversation stage of an edge (values match the paper's 0/1/2)."""
+
+    PRE_DOWNLOAD = 0
+    DOWNLOAD = 1
+    POST_DOWNLOAD = 2
+
+
+def assign_stages(transactions: list[HttpTransaction]) -> list[Stage]:
+    """Assign a :class:`Stage` to each transaction, in input order.
+
+    Implements the rules quoted in the module docstring.  The algorithm
+    runs three sweeps over the timestamp-ordered stream:
+
+    1. find the boundary timestamps — the last qualifying 30x response
+       (end of pre-download) and the last exploit-payload 20x response
+       (end of download);
+    2. mark pre-download pairs (GET + 30x before any exploit download);
+    3. mark post-download pairs (POST to a non-payload-serving host with
+       a 200/40x answer, after the download boundary); everything else is
+       the download stage.
+    """
+    if not transactions:
+        return []
+    order = sorted(range(len(transactions)), key=lambda i: transactions[i].timestamp)
+
+    # Hosts that served a known exploit payload, with first-serve time.
+    first_exploit_ts: float | None = None
+    last_exploit_ts: float | None = None
+    exploit_hosts: set[str] = set()
+    for index in order:
+        txn = transactions[index]
+        if txn.response is None:
+            continue
+        if 200 <= txn.status < 300 and is_exploit_type(txn.payload_type):
+            exploit_hosts.add(txn.server)
+            if first_exploit_ts is None:
+                first_exploit_ts = txn.response.timestamp
+            last_exploit_ts = txn.response.timestamp
+
+    # End of the pre-download stage: the last qualifying 30x that precedes
+    # the first exploit download (or the last 30x at all when no exploit
+    # payload was ever delivered).
+    last_30x_ts: float | None = None
+    for index in order:
+        txn = transactions[index]
+        if txn.request.method is not HttpMethod.GET:
+            continue
+        if not 300 <= txn.status < 400:
+            continue
+        if first_exploit_ts is not None and txn.timestamp >= first_exploit_ts:
+            continue
+        last_30x_ts = txn.response.timestamp if txn.response else txn.timestamp
+
+    stages: list[Stage] = [Stage.DOWNLOAD] * len(transactions)
+    for index in order:
+        txn = transactions[index]
+        is_post_method = txn.request.method is HttpMethod.POST
+        response_ts = txn.response.timestamp if txn.response else txn.timestamp
+
+        # Pre-download: GET + 30x, before any exploit payload landed.
+        if (
+            txn.request.method is HttpMethod.GET
+            and 300 <= txn.status < 400
+            and (first_exploit_ts is None or txn.timestamp < first_exploit_ts)
+        ):
+            stages[index] = Stage.PRE_DOWNLOAD
+            continue
+
+        # Also pre-download: plain 20x page fetches that happen while the
+        # redirection run-up is still in progress (timestamp before the
+        # last qualifying 30x) — these are the landing-page hops.
+        if (
+            last_30x_ts is not None
+            and response_ts <= last_30x_ts
+            and not is_post_method
+        ):
+            stages[index] = Stage.PRE_DOWNLOAD
+            continue
+
+        # Post-download: POST to a host that served no exploit payload,
+        # answered 200 or 40x, after the download stage completed.  A
+        # post-download stage presupposes a download: streams that never
+        # delivered an exploit payload have no post-download edges.
+        if (
+            is_post_method
+            and txn.server not in exploit_hosts
+            and (txn.status == 200 or 400 <= txn.status < 500 or txn.status == 0)
+            and last_exploit_ts is not None
+            and txn.timestamp >= last_exploit_ts
+        ):
+            stages[index] = Stage.POST_DOWNLOAD
+            continue
+
+        stages[index] = Stage.DOWNLOAD
+    return stages

@@ -1,0 +1,269 @@
+"""The Web Conversation Graph (WCG) abstraction (Section III-A).
+
+A WCG is a directed graph capturing the interaction between a victim host
+and one or more remote hosts.  Formally (paper notation) a WCG
+``G_i = (Phi_i, Psi_i, Sigma_i, alpha, beta)`` where ``Phi`` are request
+edges, ``Psi`` response edges, ``Sigma`` redirection edges, ``alpha`` node
+attributes and ``beta`` edge attributes.  We realize it on a
+``networkx.MultiDiGraph`` so that parallel edges of different kinds
+between the same host pair coexist, and expose the annotated views that
+feature extraction (``repro.features``) consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import networkx as nx
+
+from repro.core.payloads import PayloadSummary, PayloadType
+from repro.core.stages import Stage
+
+__all__ = ["NodeKind", "EdgeKind", "EdgeData", "WebConversationGraph"]
+
+#: Node name used for the synthetic origin node when the enticement
+#: source is unknown (referrer concealed), per Section III-B.
+EMPTY_ORIGIN = "empty"
+
+
+class NodeKind(enum.Enum):
+    """Designation of a WCG node (Section III-A)."""
+
+    ORIGIN = "origin"
+    VICTIM = "victim"
+    REMOTE = "remote"
+    MALICIOUS = "malicious"
+    REDIRECTOR = "redirector"
+
+
+class EdgeKind(enum.Enum):
+    """Relation an edge represents."""
+
+    REQUEST = "req"
+    RESPONSE = "res"
+    REDIRECT = "redir"
+
+
+@dataclass
+class EdgeData:
+    """Edge attributes ``beta`` (Section III-C, edge-level).
+
+    ``method``/``uri_length`` are set on request edges;
+    ``status``/``payload_type``/``payload_size`` on response edges;
+    ``redirect_kind``/``cross_domain`` on redirect edges.
+    """
+
+    kind: EdgeKind
+    timestamp: float
+    stage: Stage = Stage.DOWNLOAD
+    method: str = ""
+    uri_length: int = 0
+    status: int = 0
+    payload_type: PayloadType | None = None
+    payload_size: int = 0
+    redirect_kind: str = ""
+    cross_domain: bool = False
+    referrer: str = ""
+    user_agent: str = ""
+
+
+@dataclass
+class _NodeData:
+    """Node attributes ``alpha`` (Section III-C, node-level)."""
+
+    kind: NodeKind = NodeKind.REMOTE
+    ip: str = ""
+    uris: set[str] = field(default_factory=set)
+    payloads: PayloadSummary = field(default_factory=PayloadSummary)
+
+
+class WebConversationGraph:
+    """An annotated WCG for one client conversation.
+
+    Construction normally goes through
+    :class:`repro.core.builder.WCGBuilder`; the mutation API here
+    (``add_node`` / ``add_edge``) is what the builder and the incremental
+    on-the-wire updater drive.
+    """
+
+    def __init__(self, victim: str, origin: str = ""):
+        self._graph = nx.MultiDiGraph()
+        self.victim = victim
+        self.origin = origin or EMPTY_ORIGIN
+        self.dnt = False
+        self.x_flash_version: str = ""
+        self.add_node(self.origin, kind=NodeKind.ORIGIN)
+        self.add_node(victim, kind=NodeKind.VICTIM)
+
+    # --- structure -------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.MultiDiGraph:
+        """The underlying annotated multigraph (read-mostly)."""
+        return self._graph
+
+    def add_node(self, host: str, kind: NodeKind = NodeKind.REMOTE,
+                 ip: str = "") -> None:
+        """Add (or update) a host node."""
+        if host in self._graph:
+            data: _NodeData = self._graph.nodes[host]["data"]
+            # VICTIM/ORIGIN designations are sticky; MALICIOUS upgrades REMOTE.
+            if data.kind is NodeKind.REMOTE and kind in (
+                NodeKind.MALICIOUS,
+                NodeKind.REDIRECTOR,
+            ):
+                data.kind = kind
+            if ip and not data.ip:
+                data.ip = ip
+            return
+        self._graph.add_node(host, data=_NodeData(kind=kind, ip=ip))
+
+    def mark_malicious(self, host: str) -> None:
+        """Designate a node malicious (it served an exploit payload)."""
+        if host not in self._graph:
+            self.add_node(host, kind=NodeKind.MALICIOUS)
+            return
+        data: _NodeData = self._graph.nodes[host]["data"]
+        if data.kind in (NodeKind.REMOTE, NodeKind.REDIRECTOR):
+            data.kind = NodeKind.MALICIOUS
+
+    def add_edge(self, source: str, target: str, data: EdgeData) -> None:
+        """Add a typed, annotated edge, creating endpoints as needed."""
+        self.add_node(source)
+        self.add_node(target)
+        self._graph.add_edge(source, target, data=data)
+
+    def node_data(self, host: str) -> _NodeData:
+        """The ``alpha`` record for ``host``."""
+        return self._graph.nodes[host]["data"]
+
+    def record_uri(self, host: str, uri: str) -> None:
+        """Track a URI observed for ``host`` (URIs-per-host annotation)."""
+        self.add_node(host)
+        self.node_data(host).uris.add(uri)
+
+    def record_payload(self, host: str, ptype: PayloadType) -> None:
+        """Track a payload exchanged with ``host``."""
+        self.add_node(host)
+        self.node_data(host).payloads.add(ptype)
+
+    # --- views -----------------------------------------------------------
+
+    def edges(self, kind: EdgeKind | None = None) -> Iterator[tuple[str, str, EdgeData]]:
+        """Iterate ``(source, target, EdgeData)``, optionally filtered."""
+        for source, target, attrs in self._graph.edges(data=True):
+            data: EdgeData = attrs["data"]
+            if kind is None or data.kind is kind:
+                yield source, target, data
+
+    def request_edges(self) -> list[tuple[str, str, EdgeData]]:
+        """``Phi`` — request edges."""
+        return list(self.edges(EdgeKind.REQUEST))
+
+    def response_edges(self) -> list[tuple[str, str, EdgeData]]:
+        """``Psi`` — response edges."""
+        return list(self.edges(EdgeKind.RESPONSE))
+
+    def redirect_edges(self) -> list[tuple[str, str, EdgeData]]:
+        """``Sigma`` — redirection edges."""
+        return list(self.edges(EdgeKind.REDIRECT))
+
+    def hosts(self) -> list[str]:
+        """All node names, origin node included."""
+        return list(self._graph.nodes)
+
+    def remote_hosts(self) -> list[str]:
+        """All nodes other than the victim and the origin."""
+        return [
+            host
+            for host in self._graph.nodes
+            if host not in (self.victim, self.origin)
+        ]
+
+    @property
+    def order(self) -> int:
+        """Number of nodes (feature f7)."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def size(self) -> int:
+        """Number of edges (feature f8)."""
+        return self._graph.number_of_edges()
+
+    @property
+    def has_known_origin(self) -> bool:
+        """True when the enticement origin was recoverable (feature f1)."""
+        return self.origin != EMPTY_ORIGIN
+
+    def timestamps(self) -> list[float]:
+        """All edge timestamps, ascending."""
+        return sorted(data.timestamp for _, _, data in self.edges())
+
+    @property
+    def duration(self) -> float:
+        """Conversation duration in seconds (graph-level annotation)."""
+        stamps = self.timestamps()
+        if len(stamps) < 2:
+            return 0.0
+        return stamps[-1] - stamps[0]
+
+    def stage_edges(self, stage: Stage) -> list[tuple[str, str, EdgeData]]:
+        """Edges annotated with the given conversation stage."""
+        return [
+            (source, target, data)
+            for source, target, data in self.edges()
+            if data.stage is stage
+        ]
+
+    def has_post_download_dynamics(self) -> bool:
+        """True when at least one post-download edge exists."""
+        return any(
+            data.stage is Stage.POST_DOWNLOAD for _, _, data in self.edges()
+        )
+
+    def simple_graph(self, include_origin: bool = True) -> nx.DiGraph:
+        """Collapse parallel edges into a simple digraph for analytics.
+
+        Edge multiplicity is preserved as a ``weight`` attribute; graph
+        analytics that are multiplicity-sensitive (degree, volume) read
+        the multigraph instead.
+        """
+        simple = nx.DiGraph()
+        for host in self._graph.nodes:
+            if not include_origin and host == self.origin:
+                continue
+            simple.add_node(host)
+        for source, target, data in self.edges():
+            if not include_origin and self.origin in (source, target):
+                continue
+            if simple.has_edge(source, target):
+                simple[source][target]["weight"] += 1
+            else:
+                simple.add_edge(source, target, weight=1)
+        return simple
+
+    def copy(self) -> "WebConversationGraph":
+        """Deep-enough copy for incremental what-if evaluation."""
+        clone = WebConversationGraph.__new__(WebConversationGraph)
+        clone._graph = nx.MultiDiGraph()
+        clone.victim = self.victim
+        clone.origin = self.origin
+        clone.dnt = self.dnt
+        clone.x_flash_version = self.x_flash_version
+        for host, attrs in self._graph.nodes(data=True):
+            data: _NodeData = attrs["data"]
+            copied = _NodeData(kind=data.kind, ip=data.ip)
+            copied.uris = set(data.uris)
+            copied.payloads.counts = dict(data.payloads.counts)
+            clone._graph.add_node(host, data=copied)
+        for source, target, attrs in self._graph.edges(data=True):
+            clone._graph.add_edge(source, target, data=attrs["data"])
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"WebConversationGraph(victim={self.victim!r}, "
+            f"origin={self.origin!r}, order={self.order}, size={self.size})"
+        )

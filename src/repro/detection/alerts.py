@@ -1,0 +1,56 @@
+"""Alert model and sinks for the on-the-wire detector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detection.clues import InfectionClue
+
+__all__ = ["Alert", "AlertSink", "ListSink"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One infection verdict issued by the detector.
+
+    Attributes:
+        client: the victim host the alert protects.
+        score: classifier probability that the WCG is infectious.
+        clue: the infection clue that opened the watch on this WCG.
+        timestamp: stream time at which the verdict fired.
+        wcg_order / wcg_size: graph dimensions at verdict time.
+        session_key: identifier of the watched session cluster.
+    """
+
+    client: str
+    score: float
+    clue: InfectionClue
+    timestamp: float
+    wcg_order: int
+    wcg_size: int
+    session_key: str
+
+
+class AlertSink:
+    """Interface for alert consumers."""
+
+    def emit(self, alert: Alert) -> None:
+        """Handle one alert."""
+        raise NotImplementedError
+
+
+@dataclass
+class ListSink(AlertSink):
+    """Collects alerts in memory (tests, benches, examples)."""
+
+    alerts: list[Alert] = field(default_factory=list)
+
+    def emit(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def for_client(self, client: str) -> list[Alert]:
+        """Alerts raised on behalf of one client."""
+        return [a for a in self.alerts if a.client == client]

@@ -1,0 +1,111 @@
+"""Detection-latency measurement: how far into an infection the alert fires.
+
+The paper's central deployment claim is *on-the-wire* detection — the
+session is terminated while the infection unfolds, not after.  The
+interesting number is therefore not only *whether* an episode alerts
+but *when*: in stream time (seconds from the episode's first
+transaction) and in conversation progress (fraction of the episode's
+transactions already seen).
+
+A post-download alert still beats VirusTotal by days (Case Study 1),
+but an alert during the redirection run-up or at the payload download
+stops exfiltration entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import Trace
+from repro.detection.clues import CluePolicy
+from repro.detection.detector import DetectorConfig, OnTheWireDetector
+from repro.learning.forest import EnsembleRandomForest
+
+__all__ = ["EpisodeLatency", "measure_latency", "latency_summary"]
+
+
+@dataclass(frozen=True)
+class EpisodeLatency:
+    """Alert timing for one infection episode.
+
+    ``seconds`` is stream time from the episode's first transaction to
+    the alert; ``progress`` is the fraction of the episode's
+    transactions processed when the alert fired (1.0 = end-of-stream
+    verdict).  ``None`` values mean the episode was missed.
+    """
+
+    family: str
+    detected: bool
+    seconds: float | None = None
+    progress: float | None = None
+
+
+def measure_latency(
+    classifier: EnsembleRandomForest,
+    traces: list[Trace],
+    policy: CluePolicy | None = None,
+    config: DetectorConfig | None = None,
+) -> list[EpisodeLatency]:
+    """Replay each trace through a fresh detector; record alert timing."""
+    results: list[EpisodeLatency] = []
+    for trace in traces:
+        transactions = sorted(trace.transactions, key=lambda t: t.timestamp)
+        if not transactions:
+            continue
+        detector = OnTheWireDetector(
+            classifier,
+            policy=policy or CluePolicy(),
+            config=config or DetectorConfig(alert_threshold=0.5),
+        )
+        start = transactions[0].timestamp
+        alert_index: int | None = None
+        alert_ts: float | None = None
+        for index, txn in enumerate(transactions):
+            alert = detector.process(txn)
+            if alert is not None:
+                alert_index = index
+                alert_ts = alert.timestamp
+                break
+        if alert_index is None:
+            # End-of-stream verdict counts as detection at progress 1.0.
+            before = len(detector.alerts)
+            detector.finalize()
+            if len(detector.alerts) > before:
+                alert_index = len(transactions) - 1
+                alert_ts = transactions[-1].timestamp
+        if alert_index is None:
+            results.append(EpisodeLatency(family=trace.family,
+                                          detected=False))
+        else:
+            results.append(
+                EpisodeLatency(
+                    family=trace.family,
+                    detected=True,
+                    seconds=max(0.0, alert_ts - start),
+                    progress=(alert_index + 1) / len(transactions),
+                )
+            )
+    return results
+
+
+def latency_summary(latencies: list[EpisodeLatency]) -> dict[str, float]:
+    """Aggregate detection-latency statistics."""
+    detected = [l for l in latencies if l.detected]
+    if not latencies:
+        return {"episodes": 0.0, "detection_rate": 0.0}
+    seconds = np.array([l.seconds for l in detected]) if detected else None
+    progress = np.array([l.progress for l in detected]) if detected else None
+    summary = {
+        "episodes": float(len(latencies)),
+        "detection_rate": len(detected) / len(latencies),
+    }
+    if detected:
+        summary.update({
+            "median_seconds": float(np.median(seconds)),
+            "p90_seconds": float(np.percentile(seconds, 90)),
+            "median_progress": float(np.median(progress)),
+            "mid_stream_fraction": float((progress < 1.0).mean()),
+        })
+    return summary

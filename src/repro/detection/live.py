@@ -1,0 +1,118 @@
+"""Live packet-level deployment: packets in, alerts out.
+
+The batch pipeline (`repro.net.flows.transactions_from_packets`) decodes
+a complete capture at once.  A deployed DynaMiner sits on a live tap and
+must surface each HTTP transaction the moment its response is complete —
+this module provides that incremental path:
+
+``LiveDecoder``
+    feed pcap records one at a time; completed request/response pairs
+    are emitted as :class:`~repro.core.model.HttpTransaction` as soon as
+    both sides have been reassembled (unanswered requests flush when
+    their connection closes or at :meth:`LiveDecoder.flush`).
+
+``LiveDetector``
+    glues a :class:`LiveDecoder` to an
+    :class:`~repro.detection.detector.OnTheWireDetector`: feed packets,
+    collect alerts.
+
+Parsing re-scans a stream's reassembled buffer on each delivery, which
+is quadratic in the worst case for one giant connection; captures in the
+paper's regime (thousands of transactions across many connections) stay
+comfortably linear in practice.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import HttpTransaction
+from repro.detection.alerts import Alert
+from repro.detection.detector import OnTheWireDetector
+from repro.exceptions import HttpParseError
+from repro.net.flows import AddressBook, _pair_stream, _segments_of
+from repro.net.pcap import LINKTYPE_ETHERNET, PcapPacket
+from repro.net.reassembly import FlowKey, TcpReassembler, TcpStream
+
+__all__ = ["LiveDecoder", "LiveDetector"]
+
+
+class LiveDecoder:
+    """Incremental pcap-record -> HTTP-transaction decoder."""
+
+    def __init__(self, linktype: int = LINKTYPE_ETHERNET,
+                 book: AddressBook | None = None):
+        self.linktype = linktype
+        self.book = book
+        self._reassembler = TcpReassembler()
+        #: Per-connection count of transactions already emitted.
+        self._emitted: dict[FlowKey, int] = {}
+        #: Connections whose payload is not HTTP (skip quietly).
+        self._not_http: set[FlowKey] = set()
+
+    def feed(self, packet: PcapPacket) -> list[HttpTransaction]:
+        """Ingest one pcap record; returns newly completed transactions."""
+        emitted: list[HttpTransaction] = []
+        for ts, src, dst, segment in _segments_of([packet], self.linktype):
+            stream = self._reassembler.feed(ts, src, dst, segment)
+            emitted.extend(self._drain(stream, final=stream.closed))
+        return emitted
+
+    def flush(self) -> list[HttpTransaction]:
+        """End-of-capture: emit whatever is still pending everywhere."""
+        emitted: list[HttpTransaction] = []
+        for stream in self._reassembler.streams():
+            emitted.extend(self._drain(stream, final=True))
+        return emitted
+
+    def _drain(self, stream: TcpStream, final: bool) -> list[HttpTransaction]:
+        key = stream.key
+        if key in self._not_http or stream.client is None:
+            return []
+        try:
+            transactions = _pair_stream(stream, self.book)
+        except HttpParseError:
+            self._not_http.add(key)
+            return []
+        already = self._emitted.get(key, 0)
+        if not final:
+            # Hold back transactions whose response has not arrived:
+            # they sit at the tail and may still complete.
+            while transactions and transactions[-1].response is None:
+                transactions = transactions[:-1]
+        fresh = transactions[already:]
+        if fresh:
+            self._emitted[key] = already + len(fresh)
+        return fresh
+
+
+class LiveDetector:
+    """Packet-in, alert-out wrapper around the on-the-wire detector."""
+
+    def __init__(self, detector: OnTheWireDetector,
+                 linktype: int = LINKTYPE_ETHERNET,
+                 book: AddressBook | None = None):
+        self.detector = detector
+        self.decoder = LiveDecoder(linktype=linktype, book=book)
+        self.transactions_emitted = 0
+
+    def feed(self, packet: PcapPacket) -> list[Alert]:
+        """Ingest one packet; returns alerts raised by it (if any)."""
+        alerts: list[Alert] = []
+        for txn in self.decoder.feed(packet):
+            self.transactions_emitted += 1
+            alert = self.detector.process(txn)
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def finish(self) -> list[Alert]:
+        """Flush the decoder and finalize the detector's watches."""
+        alerts: list[Alert] = []
+        for txn in self.decoder.flush():
+            self.transactions_emitted += 1
+            alert = self.detector.process(txn)
+            if alert is not None:
+                alerts.append(alert)
+        before = len(self.detector.alerts)
+        self.detector.finalize()
+        alerts.extend(self.detector.alerts[before:])
+        return alerts

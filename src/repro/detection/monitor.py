@@ -1,0 +1,137 @@
+"""Per-session WCG watching (Section V-B, "WCG classification and update").
+
+A :class:`SessionWatch` owns one candidate conversation: its transaction
+list, its incremental WCG builder, and its clue detector.  The
+:class:`SessionTable` clusters an interleaved multi-client stream into
+watches using session IDs with the referrer/timestamp fallback heuristic
+— the streaming counterpart of :func:`repro.core.sessions.group_sessions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.builder import WCGBuilder
+from repro.core.model import HttpTransaction
+from repro.core.sessions import extract_session_id
+from repro.core.wcg import WebConversationGraph
+from repro.detection.clues import ClueDetector, CluePolicy, InfectionClue
+
+__all__ = ["SessionWatch", "SessionTable"]
+
+
+@dataclass
+class SessionWatch:
+    """State of one watched conversation."""
+
+    key: str
+    client: str
+    policy: CluePolicy
+    transactions: list[HttpTransaction] = field(default_factory=list)
+    session_ids: set[str] = field(default_factory=set)
+    hosts: set[str] = field(default_factory=set)
+    last_ts: float = 0.0
+    #: Set when a clue fired and the WCG is under classifier watch.
+    active_clue: InfectionClue | None = None
+    alerted: bool = False
+    terminated: bool = False
+
+    def __post_init__(self) -> None:
+        self._clues = ClueDetector(self.policy)
+        self._builder = WCGBuilder(victim=self.client)
+
+    def add(self, txn: HttpTransaction) -> InfectionClue | None:
+        """Ingest one transaction; returns a clue if one fires now."""
+        self.transactions.append(txn)
+        self._builder.add(txn)
+        session_id = extract_session_id(txn)
+        if session_id:
+            self.session_ids.add(session_id)
+        self.hosts.add(txn.server)
+        ref = txn.request.referrer_host
+        if ref:
+            self.hosts.add(ref)
+        self.last_ts = max(self.last_ts, txn.timestamp)
+        clue = self._clues.observe(txn)
+        if clue is not None and self.active_clue is None:
+            self.active_clue = clue
+        return clue
+
+    def wcg(self) -> WebConversationGraph:
+        """The (cached, incrementally rebuilt) WCG for this session."""
+        return self._builder.build()
+
+    def matches(self, txn: HttpTransaction, session_id: str,
+                idle_gap: float) -> bool:
+        """Does ``txn`` belong to this watch? (clustering heuristic)"""
+        if txn.client != self.client:
+            return False
+        if session_id and session_id in self.session_ids:
+            return True
+        if txn.timestamp - self.last_ts > idle_gap:
+            return False
+        ref = txn.request.referrer_host
+        if ref and ref in self.hosts:
+            return True
+        if txn.server in self.hosts:
+            return True
+        # Timestamp-proximity fallback (Section V-B): a referrer-less
+        # POST from the same client to a never-seen host inside the
+        # activity window is grouped with the ongoing conversation —
+        # exactly the shape of a post-infection call-back.
+        from repro.core.model import HttpMethod
+
+        return (
+            txn.request.method is HttpMethod.POST
+            and not ref
+            and not self.terminated
+        )
+
+
+class SessionTable:
+    """Clusters a live transaction stream into per-session watches."""
+
+    def __init__(self, policy: CluePolicy | None = None,
+                 idle_gap: float = 60.0):
+        self.policy = policy or CluePolicy()
+        self.idle_gap = idle_gap
+        self._watches: dict[str, list[SessionWatch]] = {}
+        self._serial = 0
+
+    def route(self, txn: HttpTransaction) -> SessionWatch:
+        """Find (or open) the watch that owns ``txn`` and ingest it."""
+        session_id = extract_session_id(txn)
+        candidates = self._watches.setdefault(txn.client, [])
+        chosen: SessionWatch | None = None
+        for watch in reversed(candidates):
+            if watch.terminated:
+                continue
+            if watch.matches(txn, session_id, self.idle_gap):
+                chosen = watch
+                break
+        if chosen is None:
+            self._serial += 1
+            chosen = SessionWatch(
+                key=f"{txn.client}#{self._serial}",
+                client=txn.client,
+                policy=self.policy,
+            )
+            candidates.append(chosen)
+        chosen.add(txn)
+        return chosen
+
+    def watches(self) -> list[SessionWatch]:
+        """All watches, across clients."""
+        return [w for group in self._watches.values() for w in group]
+
+    def expire(self, now: float) -> list[SessionWatch]:
+        """Terminate watches idle past the gap ("the WCG stops growing").
+
+        Returns the watches terminated by this sweep.
+        """
+        expired = []
+        for watch in self.watches():
+            if not watch.terminated and now - watch.last_ts > self.idle_gap:
+                watch.terminated = True
+                expired.append(watch)
+        return expired

@@ -1,0 +1,88 @@
+"""Traffic replay drivers (the paper's forensic/live deployment harness).
+
+``TrafficReplay`` feeds a recorded stream through a detector the way the
+authors replayed the streaming-site capture through a local web server
+(Case Study 1); ``ProxySimulator`` models the mini-enterprise proxy
+position of Case Study 2, multiplexing several client hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import HttpTransaction, Trace
+from repro.detection.alerts import Alert
+from repro.detection.detector import OnTheWireDetector
+
+__all__ = ["ReplayReport", "TrafficReplay", "ProxySimulator"]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one replay run."""
+
+    alerts: list[Alert] = field(default_factory=list)
+    transactions: int = 0
+    weeded: int = 0
+    classifications: int = 0
+    watches: int = 0
+
+    @property
+    def alert_count(self) -> int:
+        """Number of alerts raised."""
+        return len(self.alerts)
+
+    def alerts_for(self, client: str) -> list[Alert]:
+        """Alerts attributed to one client host."""
+        return [a for a in self.alerts if a.client == client]
+
+
+class TrafficReplay:
+    """Replays a capture through a detector in timestamp order."""
+
+    def __init__(self, detector: OnTheWireDetector):
+        self.detector = detector
+
+    def run(self, trace: Trace | list[HttpTransaction]) -> ReplayReport:
+        """Replay all transactions; returns the consolidated report."""
+        transactions = (
+            trace.transactions if isinstance(trace, Trace) else list(trace)
+        )
+        transactions = sorted(transactions, key=lambda t: t.timestamp)
+        alerts = self.detector.process_stream(transactions)
+        self.detector.finalize()
+        return ReplayReport(
+            alerts=alerts,
+            transactions=self.detector.transactions_seen,
+            weeded=self.detector.transactions_weeded,
+            classifications=self.detector.classifications,
+            watches=self.detector.watch_count(),
+        )
+
+
+class ProxySimulator:
+    """Multiplexes several hosts' traffic through one detector.
+
+    Mirrors the Case Study 2 deployment: DynaMiner as the web proxy of a
+    mini-enterprise network, inspecting all HTTP transactions from every
+    internal host.
+    """
+
+    def __init__(self, detector: OnTheWireDetector):
+        self.detector = detector
+
+    def run(self, traces: list[Trace]) -> ReplayReport:
+        """Interleave the traces by timestamp and replay the merged stream."""
+        merged: list[HttpTransaction] = []
+        for trace in traces:
+            merged.extend(trace.transactions)
+        merged.sort(key=lambda t: t.timestamp)
+        alerts = self.detector.process_stream(merged)
+        self.detector.finalize()
+        return ReplayReport(
+            alerts=alerts,
+            transactions=self.detector.transactions_seen,
+            weeded=self.detector.transactions_weeded,
+            classifications=self.detector.classifications,
+            watches=self.detector.watch_count(),
+        )

@@ -1,0 +1,50 @@
+"""Trusted-vendor traffic weeding (Section V-B noise reduction).
+
+"To reduce noise from benign HTTP traffic, we weed out HTTP transactions
+that originate from known vendors ... e.g. downloads from online
+application stores / software repositories."
+"""
+
+from __future__ import annotations
+
+from repro.core.model import HttpTransaction
+from repro.synthesis.entities import TRUSTED_VENDORS
+
+__all__ = ["VendorWhitelist"]
+
+
+class VendorWhitelist:
+    """Suffix-matching host whitelist.
+
+    A host matches when it equals a whitelisted entry or is a subdomain
+    of one.  The default list covers the major OS/app-store/software
+    repositories the paper's deployment trusted.
+    """
+
+    def __init__(self, hosts: tuple[str, ...] | list[str] = TRUSTED_VENDORS):
+        self._exact: set[str] = set()
+        self._suffixes: list[str] = []
+        for host in hosts:
+            cleaned = host.lower().strip(".")
+            self._exact.add(cleaned)
+            self._suffixes.append("." + cleaned)
+
+    def add(self, host: str) -> None:
+        """Trust ``host`` (and its subdomains) from now on."""
+        cleaned = host.lower().strip(".")
+        self._exact.add(cleaned)
+        self._suffixes.append("." + cleaned)
+
+    def trusted(self, host: str) -> bool:
+        """True when ``host`` is whitelisted."""
+        candidate = host.lower().strip(".")
+        if candidate in self._exact:
+            return True
+        return any(candidate.endswith(suffix) for suffix in self._suffixes)
+
+    def filter(self, transactions: list[HttpTransaction]) -> list[HttpTransaction]:
+        """Drop transactions whose server is trusted."""
+        return [txn for txn in transactions if not self.trusted(txn.server)]
+
+    def __len__(self) -> int:
+        return len(self._exact)

@@ -1,0 +1,33 @@
+"""Experiment runners: one module per paper table/figure (DESIGN.md §4)."""
+
+from repro.experiments import (
+    ablations,
+    baselines,
+    case_study1,
+    context,
+    evasion,
+    families_breakdown,
+    fig10,
+    figures,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+__all__ = [
+    "ablations",
+    "baselines",
+    "case_study1",
+    "context",
+    "evasion",
+    "families_breakdown",
+    "fig10",
+    "figures",
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+]

@@ -1,0 +1,115 @@
+"""Experiments fig1/fig2/fig3/fig4/fig7-9: regenerate the paper's figures.
+
+Each runner returns the figure's underlying data series; ``report_*``
+renders an ASCII rendition for the bench logs.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.exposure import (
+    EXPOSURE_CATEGORIES,
+    exposure_distribution,
+    per_family_exposure,
+)
+from repro.analytics.graphprops import (
+    FIG3_PROPERTIES,
+    average_graph_properties,
+    feature_distribution,
+)
+from repro.analytics.headers import FIG4_ELEMENTS, average_header_elements
+from repro.analytics.report import format_distribution, format_table
+from repro.experiments.context import DEFAULT_SCALE, DEFAULT_SEED, cached_ground_truth
+
+__all__ = [
+    "run_fig1", "run_fig2", "run_fig3", "run_fig4", "run_fig7_8_9",
+    "report_fig1", "report_fig2", "report_fig3", "report_fig4",
+]
+
+#: The features behind Figures 7, 8, and 9, in figure order.
+FIG789_FEATURES = (
+    "avg_node_centrality",         # Fig. 7: average node connectivity
+    "avg_betweenness_centrality",  # Fig. 8
+    "avg_closeness_centrality",    # Fig. 9
+)
+
+
+def run_fig1(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> dict:
+    """Figure 1: overall enticement distribution over infections."""
+    corpus = cached_ground_truth(seed, scale)
+    return exposure_distribution(corpus.infections)
+
+
+def run_fig2(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> dict:
+    """Figure 2: per-family enticement distributions."""
+    corpus = cached_ground_truth(seed, scale)
+    return per_family_exposure(corpus)
+
+
+def run_fig3(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> dict:
+    """Figure 3: average graph-property measures per class."""
+    corpus = cached_ground_truth(seed, scale)
+    return average_graph_properties(corpus.traces)
+
+
+def run_fig4(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> dict:
+    """Figure 4: average HTTP-header element counts per class."""
+    corpus = cached_ground_truth(seed, scale)
+    return average_header_elements(corpus.traces)
+
+
+def run_fig7_8_9(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> dict:
+    """Figures 7-9: per-class distributions of three graph features."""
+    corpus = cached_ground_truth(seed, scale)
+    return {
+        feature: feature_distribution(corpus.traces, feature)
+        for feature in FIG789_FEATURES
+    }
+
+
+def report_fig1(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> str:
+    """ASCII rendition of Figure 1."""
+    dist = run_fig1(seed, scale)
+    return format_distribution(
+        list(EXPOSURE_CATEGORIES),
+        [dist[c] for c in EXPOSURE_CATEGORIES],
+        title="Fig. 1 (reproduced): enticement distribution",
+    )
+
+
+def report_fig2(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> str:
+    """ASCII rendition of Figure 2 (per-family enticement)."""
+    per_family = run_fig2(seed, scale)
+    categories = list(EXPOSURE_CATEGORIES)
+    rows = []
+    for family, dist in per_family.items():
+        rows.append([family] + [f"{dist[c]:.0%}" for c in categories])
+    return format_table(
+        ["Family"] + list(categories), rows,
+        title="Fig. 2 (reproduced): per-family enticement distribution",
+    )
+
+
+def report_fig3(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> str:
+    """ASCII rendition of Figure 3."""
+    data = run_fig3(seed, scale)
+    rows = [
+        [prop, data[prop]["infection"], data[prop]["benign"]]
+        for prop in FIG3_PROPERTIES
+    ]
+    return format_table(
+        ["Property", "Infection", "Benign"], rows,
+        title="Fig. 3 (reproduced): average graph properties",
+    )
+
+
+def report_fig4(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> str:
+    """ASCII rendition of Figure 4."""
+    data = run_fig4(seed, scale)
+    rows = [
+        [element, data[element]["infection"], data[element]["benign"]]
+        for element in FIG4_ELEMENTS
+    ]
+    return format_table(
+        ["Element", "Infection", "Benign"], rows,
+        title="Fig. 4 (reproduced): average HTTP header element counts",
+    )

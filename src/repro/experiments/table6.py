@@ -1,0 +1,104 @@
+"""Experiment table6/cs2: live detection in a mini-enterprise (Table VI).
+
+Deploys the detector in the proxy position over the 48-hour three-host
+stream, tabulates per-host payload mixes and alert counts, and verifies
+the two content-borne PDFs are (expectedly) missed by DynaMiner while
+the simulated VirusTotal flags them.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.report import format_table
+from repro.detection.clues import CluePolicy
+from repro.detection.detector import DetectorConfig, OnTheWireDetector
+from repro.detection.proxy import ProxySimulator
+from repro.experiments.context import DEFAULT_SCALE, DEFAULT_SEED, trained_classifier
+from repro.synthesis.casestudy import enterprise_live_session
+from repro.vtsim.engines import DAY, PayloadSample
+from repro.vtsim.virustotal import VirusTotalSim
+
+__all__ = ["run", "report"]
+
+_HOSTS = ("win-host", "ubuntu-host", "macos-host")
+
+
+def run(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
+        session_seed: int = 48) -> dict:
+    """Run the live case study; returns Table VI cells."""
+    session = enterprise_live_session(seed=session_seed)
+    classifier = trained_classifier(seed, scale)
+    detector = OnTheWireDetector(
+        classifier,
+        policy=CluePolicy(redirect_threshold=3),
+        config=DetectorConfig(),
+    )
+    proxy = ProxySimulator(detector)
+    result = proxy.run([session.trace])
+
+    per_host_downloads: dict[str, dict[str, int]] = {
+        host: {} for host in _HOSTS
+    }
+    for record in session.downloads:
+        counts = per_host_downloads.setdefault(record.client, {})
+        counts[record.extension] = counts.get(record.extension, 0) + 1
+
+    per_host_alerts = {
+        host: len(result.alerts_for(host)) for host in _HOSTS
+    }
+
+    # VirusTotal on all downloads (post-hoc, as the authors did): it
+    # should flag the 8 infectious downloads AND the 2 content-borne
+    # PDFs that DynaMiner has no payload-level visibility into.
+    vt = VirusTotalSim()
+    start = session.trace.transactions[0].timestamp if session.trace.transactions else 0.0
+    vt_flagged = 0
+    content_pdf_flagged = 0
+    for record in session.downloads:
+        sample = PayloadSample(
+            sha256=record.sha256,
+            malicious=record.malicious,
+            content_borne=record.content_borne,
+            first_seen=start - 20 * DAY if record.malicious and not
+            record.content_borne else start - 15 * DAY,
+        )
+        if vt.scan(sample, start + 2 * DAY).flagged():
+            vt_flagged += 1
+            if record.content_borne:
+                content_pdf_flagged += 1
+    return {
+        "session": session,
+        "replay": result,
+        "per_host_downloads": per_host_downloads,
+        "per_host_alerts": per_host_alerts,
+        "total_alerts": result.alert_count,
+        "total_downloads": len(session.downloads),
+        "vt_flagged": vt_flagged,
+        "content_pdf_flagged_by_vt": content_pdf_flagged,
+    }
+
+
+def report(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> str:
+    """Printable Table VI reproduction."""
+    r = run(seed, scale)
+    categories = ("pdf", "exe", "jar", "swf", "dmg", "zip")
+    rows = []
+    for category in categories:
+        rows.append(
+            [category.upper()]
+            + [r["per_host_downloads"][host].get(category, 0)
+               for host in _HOSTS]
+        )
+    rows.append(["DynaMiner Alerts"]
+                + [r["per_host_alerts"][host] for host in _HOSTS])
+    table = format_table(
+        ["", "Windows Host", "Ubuntu Host", "MacOS Host"], rows,
+        title="Table VI (reproduced): live detection summary (48 h)",
+    )
+    return (
+        table
+        + f"\ntotal downloads: {r['total_downloads']} (paper: 62);"
+          f" total alerts: {r['total_alerts']} (paper: 8)"
+        + f"\nVirusTotal flagged {r['vt_flagged']} downloads, including"
+          f" {r['content_pdf_flagged_by_vt']} content-borne PDFs DynaMiner"
+          f" does not alert on (paper: 2)"
+    )

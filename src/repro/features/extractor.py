@@ -1,0 +1,74 @@
+"""Feature extraction engine: WCG -> 37-dimensional vector.
+
+The extractor walks the registry order so vector index ``i`` always
+corresponds to ``FEATURES[i]``; subset selection for the Table III
+ablation happens downstream via :func:`repro.features.registry.indices_of_groups`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builder import build_wcg
+from repro.core.model import Trace
+from repro.core.wcg import WebConversationGraph
+from repro.exceptions import FeatureError
+from repro.features.graph import graph_features
+from repro.features.header import header_features
+from repro.features.high_level import high_level_features
+from repro.features.registry import FEATURES, NUM_FEATURES
+from repro.features.temporal import temporal_features
+
+__all__ = ["FeatureExtractor", "extract_features", "extract_matrix"]
+
+
+class FeatureExtractor:
+    """Stateless extractor of the 37 payload-agnostic features."""
+
+    def extract(self, wcg: WebConversationGraph) -> np.ndarray:
+        """Feature vector for one WCG, in registry order."""
+        values: dict[str, float] = {}
+        values.update(high_level_features(wcg))
+        values.update(graph_features(wcg))
+        values.update(header_features(wcg))
+        values.update(temporal_features(wcg))
+        vector = np.empty(NUM_FEATURES, dtype=np.float64)
+        for index, spec in enumerate(FEATURES):
+            try:
+                vector[index] = values[spec.name]
+            except KeyError:
+                raise FeatureError(
+                    f"extractor produced no value for {spec.fid} ({spec.name})"
+                ) from None
+        if not np.all(np.isfinite(vector)):
+            bad = [FEATURES[i].name for i in np.where(~np.isfinite(vector))[0]]
+            raise FeatureError(f"non-finite feature values: {bad}")
+        return vector
+
+    def extract_trace(self, trace: Trace) -> np.ndarray:
+        """Build the WCG for a trace and extract its features."""
+        return self.extract(build_wcg(trace))
+
+
+def extract_features(wcg: WebConversationGraph) -> np.ndarray:
+    """Module-level convenience wrapper around :class:`FeatureExtractor`."""
+    return FeatureExtractor().extract(wcg)
+
+
+def extract_matrix(traces: list[Trace]) -> tuple[np.ndarray, np.ndarray]:
+    """Extract a design matrix and label vector from labelled traces.
+
+    Returns ``(X, y)`` with ``y[i] = 1`` for infections, ``0`` for benign.
+    Raises :class:`FeatureError` when a trace is unlabelled.
+    """
+    extractor = FeatureExtractor()
+    rows = []
+    labels = []
+    for trace in traces:
+        if trace.label is None:
+            raise FeatureError("extract_matrix requires labelled traces")
+        rows.append(extractor.extract_trace(trace))
+        labels.append(1.0 if trace.is_infection else 0.0)
+    if not rows:
+        return np.empty((0, NUM_FEATURES)), np.empty(0)
+    return np.vstack(rows), np.array(labels)

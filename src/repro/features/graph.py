@@ -1,0 +1,150 @@
+"""Graph-centric features f7–f25 (Table II, GFs).
+
+Computed over the WCG's simple-digraph projection (parallel edges folded
+into weights) except where the paper's definition is explicitly
+multiplicity-sensitive (size, volume, degree, in/out degree, which read
+the multigraph).
+
+Note on ``avg_pagerank``: the mean of PageRank values over all nodes is
+identically ``1/order``.  Table IV confirms the authors computed exactly
+this — Avg-pagerank, Avg-load-centrality, Avg-closeness-centrality and
+Order all share the same gain ratio (0.309 ± 0.011), which only happens
+when they are deterministic transforms of one another on this data.  We
+keep the paper-faithful definition.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.core.wcg import WebConversationGraph
+
+__all__ = ["graph_features", "average_node_connectivity_sampled",
+           "avg_nodes_within_k"]
+
+#: Pair-sample cap for average node connectivity on large graphs.
+_CONNECTIVITY_PAIR_CAP = 120
+
+
+def average_node_connectivity_sampled(
+    graph: nx.Graph, pair_cap: int = _CONNECTIVITY_PAIR_CAP
+) -> float:
+    """Average local node connectivity over (a sample of) node pairs.
+
+    Exact for graphs whose pair count is below ``pair_cap``; otherwise a
+    deterministic sample of pairs is used (seeded from the graph order so
+    the same WCG always yields the same value).
+
+    The auxiliary flow network and residual network are built once and
+    reused across all pairs — the naive per-pair rebuild dominates WCG
+    feature-extraction time otherwise.
+    """
+    from networkx.algorithms.connectivity import (
+        build_auxiliary_node_connectivity,
+        local_node_connectivity,
+    )
+    from networkx.algorithms.flow import build_residual_network
+
+    nodes = list(graph.nodes)
+    count = len(nodes)
+    if count < 2:
+        return 0.0
+    pairs = [(a, b) for i, a in enumerate(nodes) for b in nodes[i + 1:]]
+    if len(pairs) > pair_cap:
+        rng = np.random.default_rng(count * 2654435761 % (2**32))
+        chosen = rng.choice(len(pairs), size=pair_cap, replace=False)
+        pairs = [pairs[int(i)] for i in chosen]
+    auxiliary = build_auxiliary_node_connectivity(graph)
+    residual = build_residual_network(auxiliary, "capacity")
+    total = 0.0
+    for a, b in pairs:
+        total += local_node_connectivity(
+            graph, a, b, auxiliary=auxiliary, residual=residual
+        )
+    return total / len(pairs)
+
+
+def avg_nodes_within_k(graph: nx.Graph, k: int = 2) -> float:
+    """Average number of nodes within ``k`` hops of each node (f24)."""
+    if graph.number_of_nodes() == 0:
+        return 0.0
+    total = 0
+    for node in graph.nodes:
+        lengths = nx.single_source_shortest_path_length(graph, node, cutoff=k)
+        total += len(lengths) - 1  # exclude the node itself
+    return total / graph.number_of_nodes()
+
+
+def _mean(values) -> float:
+    collected = list(values)
+    if not collected:
+        return 0.0
+    return float(np.mean(collected))
+
+
+def graph_features(wcg: WebConversationGraph) -> dict[str, float]:
+    """Compute f7–f25 for one WCG."""
+    multi = wcg.graph
+    simple = wcg.simple_graph()
+    undirected = simple.to_undirected()
+    order = multi.number_of_nodes()
+    size = multi.number_of_edges()
+
+    features: dict[str, float] = {}
+    features["order"] = float(order)
+    features["size"] = float(size)
+    degrees = [d for _, d in multi.degree()]
+    features["degree"] = float(max(degrees)) if degrees else 0.0
+    features["density"] = nx.density(simple) if order > 1 else 0.0
+    features["volume"] = float(sum(degrees))
+    if order > 1 and nx.is_connected(undirected):
+        features["diameter"] = float(nx.diameter(undirected))
+    elif order > 1:
+        components = (
+            undirected.subgraph(c) for c in nx.connected_components(undirected)
+        )
+        features["diameter"] = float(
+            max(
+                (nx.diameter(c) for c in components if c.number_of_nodes() > 1),
+                default=0,
+            )
+        )
+    else:
+        features["diameter"] = 0.0
+    features["avg_in_degree"] = size / order if order else 0.0
+    features["avg_out_degree"] = size / order if order else 0.0
+    features["reciprocity"] = (
+        float(nx.overall_reciprocity(simple))
+        if simple.number_of_edges() > 0
+        else 0.0
+    )
+    features["avg_degree_centrality"] = _mean(
+        nx.degree_centrality(simple).values()
+    ) if order > 1 else 0.0
+    features["avg_closeness_centrality"] = _mean(
+        nx.closeness_centrality(simple).values()
+    ) if order > 1 else 0.0
+    features["avg_betweenness_centrality"] = _mean(
+        nx.betweenness_centrality(simple, normalized=True).values()
+    ) if order > 2 else 0.0
+    features["avg_load_centrality"] = _mean(
+        nx.load_centrality(undirected, normalized=True).values()
+    ) if order > 2 else 0.0
+    features["avg_node_centrality"] = average_node_connectivity_sampled(
+        undirected
+    )
+    features["avg_clustering_coefficient"] = (
+        float(nx.average_clustering(undirected)) if order > 2 else 0.0
+    )
+    features["avg_neighbor_degree"] = _mean(
+        nx.average_neighbor_degree(undirected).values()
+    ) if order > 1 else 0.0
+    degree_conn = nx.average_degree_connectivity(undirected)
+    features["avg_degree_connectivity"] = _mean(degree_conn.values())
+    features["avg_k_nearest_neighbors"] = avg_nodes_within_k(undirected, k=2)
+    # Paper-faithful: mean PageRank == 1/order exactly (PageRank values
+    # sum to 1 over the graph; see module docstring), so the power
+    # iteration is pure waste — compute the identity directly.
+    features["avg_pagerank"] = 1.0 / order if order > 0 else 0.0
+    return features

@@ -1,0 +1,35 @@
+"""Temporal features f36–f37 (Table II, TFs).
+
+The two features that top the paper's gain-ratio ranking (Table IV):
+infections run machine-paced (short inter-transaction gaps), human
+browsing is think-time-paced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.wcg import EdgeKind, WebConversationGraph
+
+__all__ = ["temporal_features"]
+
+
+def temporal_features(wcg: WebConversationGraph) -> dict[str, float]:
+    """Compute f36–f37 for one WCG."""
+    request_stamps = sorted(
+        data.timestamp for _, _, data in wcg.edges(EdgeKind.REQUEST)
+    )
+    total_uris = sum(len(wcg.node_data(h).uris) for h in wcg.hosts())
+    duration = wcg.duration
+    # f36: average duration to access a single URI.
+    avg_duration = duration / total_uris if total_uris else 0.0
+    # f37: average inter-transaction time.
+    if len(request_stamps) > 1:
+        gaps = np.diff(request_stamps)
+        avg_gap = float(np.mean(gaps))
+    else:
+        avg_gap = 0.0
+    return {
+        "duration": avg_duration,
+        "avg_inter_transaction_time": avg_gap,
+    }

@@ -1,0 +1,142 @@
+"""Classification metrics: confusion counts, TPR/FPR/F-score, ROC/AUC.
+
+These regenerate the numbers the paper reports: Table III columns
+(TPR, FPR, F-score, ROC Area), Table V cells, and the Figure 10 ROC
+curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import LearningError
+
+__all__ = ["ConfusionMatrix", "confusion", "roc_curve", "auc", "roc_auc",
+           "evaluate_scores"]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts plus derived rates.
+
+    Positive class = infection (label 1).
+    """
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def tpr(self) -> float:
+        """True positive rate (recall / detection rate)."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def fpr(self) -> float:
+        """False positive rate."""
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Positive predictive value."""
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f_score(self) -> float:
+        """F1 score."""
+        p, r = self.precision, self.tpr
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Overall accuracy."""
+        total = self.tp + self.fp + self.tn + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+    @property
+    def total(self) -> int:
+        """Total samples."""
+        return self.tp + self.fp + self.tn + self.fn
+
+
+def confusion(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionMatrix:
+    """Binary confusion matrix (positive label = 1)."""
+    y_true = np.asarray(y_true).astype(int)
+    y_pred = np.asarray(y_pred).astype(int)
+    if y_true.shape != y_pred.shape:
+        raise LearningError("y_true and y_pred shape mismatch")
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return ConfusionMatrix(tp=tp, fp=fp, tn=tn, fn=fn)
+
+
+def roc_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points ``(fpr, tpr, thresholds)``.
+
+    Thresholds descend; the first point is ``(0, 0)`` at threshold
+    ``+inf`` and the last ``(1, 1)``.
+    """
+    y_true = np.asarray(y_true).astype(int)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape:
+        raise LearningError("y_true and scores shape mismatch")
+    order = np.argsort(-scores, kind="stable")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+    # Collapse ties: evaluate only at distinct score boundaries.
+    distinct = np.where(np.diff(sorted_scores))[0]
+    boundaries = np.concatenate([distinct, [len(sorted_true) - 1]])
+    tps = np.cumsum(sorted_true)[boundaries]
+    fps = (boundaries + 1) - tps
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    tpr = tps / n_pos if n_pos else np.zeros_like(tps, dtype=float)
+    fpr = fps / n_neg if n_neg else np.zeros_like(fps, dtype=float)
+    tpr = np.concatenate([[0.0], tpr])
+    fpr = np.concatenate([[0.0], fpr])
+    thresholds = np.concatenate([[np.inf], sorted_scores[boundaries]])
+    return fpr, tpr, thresholds
+
+
+def auc(x: np.ndarray, y: np.ndarray) -> float:
+    """Trapezoidal area under a curve given by points ``(x, y)``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) < 2:
+        return 0.0
+    return float(np.trapezoid(y, x))
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return auc(fpr, tpr)
+
+
+def evaluate_scores(
+    y_true: np.ndarray, scores: np.ndarray, threshold: float = 0.5
+) -> dict[str, float]:
+    """One-stop evaluation: TPR/FPR/F-score/accuracy/ROC-area.
+
+    Matches the Table III column set for a given decision threshold.
+    """
+    predictions = (np.asarray(scores) >= threshold).astype(int)
+    matrix = confusion(y_true, predictions)
+    return {
+        "tpr": matrix.tpr,
+        "fpr": matrix.fpr,
+        "f_score": matrix.f_score,
+        "accuracy": matrix.accuracy,
+        "roc_area": roc_auc(y_true, scores),
+        "precision": matrix.precision,
+    }

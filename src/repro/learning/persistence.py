@@ -1,0 +1,105 @@
+"""Model persistence: save/load trained classifiers as JSON.
+
+A deployed DynaMiner trains offline (Stage 1) and classifies on the
+wire (Stage 2), usually in a different process or on a different box —
+so the trained ERF must serialize.  The format is plain JSON (no
+pickle: model files routinely cross trust boundaries) and versioned for
+forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.exceptions import LearningError
+from repro.learning.forest import EnsembleRandomForest
+from repro.learning.tree import DecisionTreeClassifier, _Node
+
+__all__ = ["forest_to_dict", "forest_from_dict", "save_forest",
+           "load_forest"]
+
+_FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: _Node) -> dict:
+    if node.is_leaf:
+        return {"proba": [float(p) for p in node.proba]}
+    return {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(data: dict) -> _Node:
+    if "proba" in data:
+        return _Node(proba=np.array(data["proba"], dtype=np.float64))
+    return _Node(
+        feature=int(data["feature"]),
+        threshold=float(data["threshold"]),
+        left=_node_from_dict(data["left"]),
+        right=_node_from_dict(data["right"]),
+    )
+
+
+def _tree_to_dict(tree: DecisionTreeClassifier) -> dict:
+    if tree._root is None:
+        raise LearningError("cannot serialize an unfitted tree")
+    return {
+        "classes": [float(c) for c in tree._classes],
+        "n_features": tree.n_features_,
+        "root": _node_to_dict(tree._root),
+    }
+
+
+def _tree_from_dict(data: dict) -> DecisionTreeClassifier:
+    tree = DecisionTreeClassifier()
+    tree._classes = np.array(data["classes"])
+    tree._n_classes = len(tree._classes)
+    tree.n_features_ = int(data["n_features"])
+    tree._root = _node_from_dict(data["root"])
+    return tree
+
+
+def forest_to_dict(forest: EnsembleRandomForest) -> dict:
+    """Serialize a fitted forest to a JSON-compatible dict."""
+    if not forest.trees_:
+        raise LearningError("cannot serialize an unfitted forest")
+    return {
+        "format_version": _FORMAT_VERSION,
+        "model": "EnsembleRandomForest",
+        "n_trees": forest.n_trees,
+        "voting": forest.voting,
+        "classes": [float(c) for c in forest._classes],
+        "trees": [_tree_to_dict(t) for t in forest.trees_],
+    }
+
+
+def forest_from_dict(data: dict) -> EnsembleRandomForest:
+    """Rebuild a forest from :func:`forest_to_dict` output."""
+    if data.get("model") != "EnsembleRandomForest":
+        raise LearningError(f"not a forest payload: {data.get('model')!r}")
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise LearningError(f"unsupported model format version: {version}")
+    forest = EnsembleRandomForest(
+        n_trees=int(data["n_trees"]), voting=str(data["voting"])
+    )
+    forest._classes = np.array(data["classes"])
+    forest.trees_ = [_tree_from_dict(t) for t in data["trees"]]
+    return forest
+
+
+def save_forest(forest: EnsembleRandomForest, path: str) -> None:
+    """Write a fitted forest to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(forest_to_dict(forest), handle)
+
+
+def load_forest(path: str) -> EnsembleRandomForest:
+    """Load a forest previously written by :func:`save_forest`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return forest_from_dict(json.load(handle))

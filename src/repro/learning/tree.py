@@ -1,0 +1,281 @@
+"""CART decision tree (from scratch; sklearn is unavailable offline).
+
+Binary classification tree over numeric features with Gini or entropy
+impurity, random feature subsetting per split (the random-forest
+ingredient), and probabilistic leaf predictions (class frequency at the
+leaf) — the ERF in the paper averages these probabilities across trees
+rather than majority-voting (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import LearningError, NotFittedError
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class-probability vector."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    proba: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.proba is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    fractions = counts / total
+    return float(1.0 - np.sum(fractions**2))
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    fractions = counts / total
+    nonzero = fractions[fractions > 0]
+    return float(-np.sum(nonzero * np.log2(nonzero)))
+
+
+_CRITERIA = {"gini": _gini, "entropy": _entropy}
+
+
+class DecisionTreeClassifier:
+    """A CART classifier supporting per-split feature subsetting.
+
+    Args:
+        max_depth: depth cap (``None`` = unbounded).
+        min_samples_split: minimum samples required to attempt a split.
+        min_samples_leaf: minimum samples in each child of a split.
+        max_features: features examined per split (``None`` = all).
+        criterion: ``"gini"`` or ``"entropy"``.
+        random_state: seed for the per-split feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        criterion: str = "gini",
+        random_state: int | None = None,
+    ):
+        if criterion not in _CRITERIA:
+            raise LearningError(f"unknown criterion {criterion!r}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.criterion = criterion
+        self.random_state = random_state
+        self._root: _Node | None = None
+        self._n_classes = 0
+        self._classes: np.ndarray | None = None
+        self.n_features_: int = 0
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Grow the tree on ``(X, y)``; returns self."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise LearningError("X must be 2-dimensional")
+        if len(X) != len(y):
+            raise LearningError(
+                f"X has {len(X)} rows but y has {len(y)} labels"
+            )
+        if len(X) == 0:
+            raise LearningError("cannot fit on an empty dataset")
+        self._classes, encoded = np.unique(y, return_inverse=True)
+        self._n_classes = len(self._classes)
+        self.n_features_ = X.shape[1]
+        self._impurity = _CRITERIA[self.criterion]
+        self._rng = np.random.default_rng(self.random_state)
+        self._root = self._grow(X, encoded, depth=0)
+        return self
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        counts = np.bincount(y, minlength=self._n_classes).astype(np.float64)
+        return _Node(proba=counts / counts.sum())
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n_samples = len(y)
+        if (
+            n_samples < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or len(np.unique(y)) == 1
+        ):
+            return self._leaf(y)
+        split = self._best_split(X, y)
+        if split is None:
+            return self._leaf(y)
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        if not mask.any() or mask.all():
+            # Degenerate split (can only stem from float pathology).
+            return self._leaf(y)
+        left = self._grow(X[mask], y[mask], depth + 1)
+        right = self._grow(X[~mask], y[~mask], depth + 1)
+        return _Node(feature=feature, threshold=threshold, left=left,
+                     right=right)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float] | None:
+        n_samples, n_features = X.shape
+        k = self.max_features or n_features
+        k = min(k, n_features)
+        candidates = (
+            self._rng.choice(n_features, size=k, replace=False)
+            if k < n_features
+            else np.arange(n_features)
+        )
+        parent_counts = np.bincount(y, minlength=self._n_classes).astype(float)
+        parent_impurity = self._impurity(parent_counts)
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        min_leaf = self.min_samples_leaf
+        for feature in candidates:
+            column = X[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_col = column[order]
+            sorted_y = y[order]
+            # One-hot cumulative class counts along the sorted column.
+            onehot = np.zeros((n_samples, self._n_classes))
+            onehot[np.arange(n_samples), sorted_y] = 1.0
+            cum = np.cumsum(onehot, axis=0)
+            # Valid split positions: between distinct consecutive values.
+            diffs = np.nonzero(np.diff(sorted_col) > 0)[0]
+            if diffs.size == 0:
+                continue
+            positions = diffs[
+                (diffs + 1 >= min_leaf) & (n_samples - diffs - 1 >= min_leaf)
+            ]
+            if positions.size == 0:
+                continue
+            left_counts = cum[positions]
+            right_counts = parent_counts - left_counts
+            left_sizes = (positions + 1).astype(float)
+            right_sizes = n_samples - left_sizes
+            # Vectorized impurity for all positions.
+            if self.criterion == "gini":
+                left_imp = 1.0 - np.sum(
+                    (left_counts / left_sizes[:, None]) ** 2, axis=1
+                )
+                right_imp = 1.0 - np.sum(
+                    (right_counts / right_sizes[:, None]) ** 2, axis=1
+                )
+            else:
+                left_frac = left_counts / left_sizes[:, None]
+                right_frac = right_counts / right_sizes[:, None]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    left_imp = -np.nansum(
+                        np.where(left_frac > 0,
+                                 left_frac * np.log2(left_frac), 0.0),
+                        axis=1,
+                    )
+                    right_imp = -np.nansum(
+                        np.where(right_frac > 0,
+                                 right_frac * np.log2(right_frac), 0.0),
+                        axis=1,
+                    )
+            weighted = (
+                left_sizes * left_imp + right_sizes * right_imp
+            ) / n_samples
+            gains = parent_impurity - weighted
+            top = int(np.argmax(gains))
+            if gains[top] > best_gain:
+                best_gain = float(gains[top])
+                position = positions[top]
+                threshold = (
+                    sorted_col[position] + sorted_col[position + 1]
+                ) / 2.0
+                # Adjacent floats can make the midpoint round up to the
+                # upper value; clamp so `<= threshold` keeps the split
+                # non-degenerate.
+                if threshold >= sorted_col[position + 1]:
+                    threshold = sorted_col[position]
+                best = (int(feature), float(threshold))
+        return best
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix, one row per sample."""
+        if self._root is None:
+            raise NotFittedError("fit() must be called before predict")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise LearningError(
+                f"expected shape (*, {self.n_features_}), got {X.shape}"
+            )
+        out = np.empty((len(X), self._n_classes))
+        for index, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[index] = node.proba
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        proba = self.predict_proba(X)
+        return self._classes[np.argmax(proba, axis=1)]
+
+    @property
+    def depth(self) -> int:
+        """Depth of the grown tree (0 for a single leaf)."""
+        if self._root is None:
+            raise NotFittedError("fit() must be called first")
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes in the grown tree."""
+        if self._root is None:
+            raise NotFittedError("fit() must be called first")
+
+        def _count(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + _count(node.left) + _count(node.right)
+
+        return _count(self._root)
+
+    def feature_importances(self) -> np.ndarray:
+        """Split-frequency importances (how often each feature splits)."""
+        if self._root is None:
+            raise NotFittedError("fit() must be called first")
+        importances = np.zeros(self.n_features_)
+
+        def _walk(node: _Node) -> None:
+            if node.is_leaf:
+                return
+            importances[node.feature] += 1
+            _walk(node.left)
+            _walk(node.right)
+
+        _walk(self._root)
+        total = importances.sum()
+        return importances / total if total else importances

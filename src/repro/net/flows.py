@@ -1,0 +1,321 @@
+"""End-to-end flow assembly: pcap packets <-> HTTP transactions.
+
+``transactions_from_packets`` drives the full decode pipeline
+(Ethernet -> IPv4 -> TCP -> reassembly -> HTTP/1.x -> domain model), the
+path the paper's offline analytics takes over its PCAP corpus.
+
+``packets_from_trace`` is the inverse: it materializes a synthetic
+:class:`~repro.core.model.Trace` as real Ethernet/IPv4/TCP packets, so the
+whole substrate is exercised round-trip in tests and examples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from dataclasses import dataclass, field
+
+from repro.core.model import (
+    Headers,
+    HttpMethod,
+    HttpRequest,
+    HttpResponse,
+    HttpTransaction,
+    Trace,
+)
+from repro.exceptions import HttpParseError
+from repro.net.http1 import (
+    RawHttpRequest,
+    RawHttpResponse,
+    parse_requests,
+    parse_responses,
+    serialize_request,
+    serialize_response,
+)
+from repro.net.packets import (
+    ACK,
+    FIN,
+    IPPROTO_TCP,
+    IpFragmentReassembler,
+    PSH,
+    SYN,
+    decode_ethernet,
+    decode_ipv4,
+    decode_tcp,
+    encode_tcp_in_ipv4_ethernet,
+    ETHERTYPE_IPV4,
+)
+from repro.net.pcap import LINKTYPE_ETHERNET, LINKTYPE_RAW_IP, PcapPacket
+from repro.net.reassembly import TcpReassembler, TcpStream
+
+__all__ = [
+    "AddressBook",
+    "transactions_from_packets",
+    "packets_from_trace",
+    "trace_from_packets",
+]
+
+
+@dataclass
+class AddressBook:
+    """Deterministic bidirectional host-name <-> IPv4 mapping.
+
+    Synthetic traces speak in host names; the packet layer speaks in IP
+    addresses.  Addresses are derived from a stable hash of the host name
+    so the same name maps to the same address across runs, with collision
+    fallback to sequential assignment.
+    """
+
+    _by_name: dict[str, str] = field(default_factory=dict)
+    _by_ip: dict[str, str] = field(default_factory=dict)
+    _serial: int = 0
+
+    def ip_of(self, host: str) -> str:
+        """Return (allocating if needed) the IPv4 address for ``host``."""
+        known = self._by_name.get(host)
+        if known is not None:
+            return known
+        digest = hashlib.sha256(host.encode("utf-8")).digest()
+        candidate = f"10.{digest[0]}.{digest[1]}.{max(1, digest[2])}"
+        while candidate in self._by_ip:
+            self._serial += 1
+            hi, lo = divmod(self._serial, 250)
+            candidate = f"172.16.{hi % 250}.{lo + 1}"
+        self._by_name[host] = candidate
+        self._by_ip[candidate] = host
+        return candidate
+
+    def host_of(self, ip: str) -> str:
+        """Host name previously mapped to ``ip``, or the ip itself."""
+        return self._by_ip.get(ip, ip)
+
+
+def _segments_of(packets: list[PcapPacket], linktype: int):
+    """Decode pcap records down to (ts, src_ip, dst_ip, TcpSegment).
+
+    IPv4 fragments are reassembled transparently; a fragmented TCP
+    segment surfaces once, at the arrival time of its completing piece.
+    """
+    fragments = IpFragmentReassembler()
+    for packet in packets:
+        data = packet.data
+        if linktype == LINKTYPE_ETHERNET:
+            frame = decode_ethernet(data)
+            if frame.ethertype != ETHERTYPE_IPV4:
+                continue
+            data = frame.payload
+        elif linktype != LINKTYPE_RAW_IP:
+            continue
+        ip = fragments.feed(decode_ipv4(data))
+        if ip is None or ip.protocol != IPPROTO_TCP:
+            continue
+        segment = decode_tcp(ip.payload)
+        yield packet.timestamp, ip.src, ip.dst, segment
+
+
+def _pair_stream(
+    stream: TcpStream,
+    book: AddressBook | None,
+) -> list[HttpTransaction]:
+    """Parse one reassembled stream and pair requests with responses."""
+    if stream.client is None:
+        return []
+    client_ip = stream.client[0]
+    try:
+        raw_requests = parse_requests(stream.client_data)
+        raw_responses = parse_responses(
+            stream.server_data,
+            closed=True,
+            request_methods=[r.method for r in raw_requests],
+        )
+    except HttpParseError:
+        # Not an HTTP conversation (TLS, P2P, corruption): real captures
+        # carry plenty of those; skip the stream rather than abort the
+        # whole capture.
+        return []
+    client_state = stream.directions.get(stream.client)
+    server_state = None
+    for src, state in stream.directions.items():
+        if src != stream.client:
+            server_state = state
+    transactions: list[HttpTransaction] = []
+    for index, raw_req in enumerate(raw_requests):
+        host_header = raw_req.headers.get("Host")
+        server_ip = stream.server[0] if stream.server else ""
+        server_name = host_header or (book.host_of(server_ip) if book else server_ip)
+        client_name = book.host_of(client_ip) if book else client_ip
+        req_ts = (
+            client_state.timestamp_at(raw_req.offset)
+            if client_state is not None
+            else 0.0
+        )
+        request = HttpRequest(
+            method=HttpMethod.of(raw_req.method),
+            uri=raw_req.uri,
+            host=server_name.split(":", 1)[0],
+            client=client_name,
+            timestamp=req_ts,
+            headers=raw_req.headers,
+            body=raw_req.body,
+            version=raw_req.version,
+        )
+        response = None
+        if index < len(raw_responses):
+            raw_res = raw_responses[index]
+            res_ts = (
+                server_state.timestamp_at(raw_res.offset)
+                if server_state is not None
+                else req_ts
+            )
+            response = HttpResponse(
+                status=raw_res.status,
+                timestamp=max(res_ts, request.timestamp),
+                headers=raw_res.headers,
+                body=raw_res.body,
+                version=raw_res.version,
+            )
+        transactions.append(HttpTransaction(request=request, response=response))
+    return transactions
+
+
+def transactions_from_packets(
+    packets: list[PcapPacket],
+    linktype: int = LINKTYPE_ETHERNET,
+    book: AddressBook | None = None,
+) -> list[HttpTransaction]:
+    """Full pipeline: pcap records -> ordered HTTP transactions."""
+    reassembler = TcpReassembler()
+    for ts, src, dst, segment in _segments_of(packets, linktype):
+        reassembler.feed(ts, src, dst, segment)
+    transactions: list[HttpTransaction] = []
+    for stream in reassembler.streams():
+        transactions.extend(_pair_stream(stream, book))
+    transactions.sort(key=lambda t: t.timestamp)
+    return transactions
+
+
+def trace_from_packets(
+    packets: list[PcapPacket],
+    linktype: int = LINKTYPE_ETHERNET,
+    book: AddressBook | None = None,
+) -> Trace:
+    """Convenience: decode packets directly into an unlabelled Trace."""
+    return Trace(transactions=transactions_from_packets(packets, linktype, book))
+
+
+class _ConnectionEncoder:
+    """Emits a well-formed TCP conversation for one client/server pair."""
+
+    def __init__(self, client_ip: str, server_ip: str, client_port: int):
+        self.client_ip = client_ip
+        self.server_ip = server_ip
+        self.client_port = client_port
+        self.server_port = 80
+        seed = zlib.crc32(f"{client_ip}:{client_port}".encode()) & 0xFFFFFF
+        self.client_seq = 1000 + seed
+        self.server_seq = 2000 + seed
+        self.opened = False
+
+    def _frame(
+        self, ts: float, from_client: bool, flags: int, payload: bytes = b""
+    ) -> PcapPacket:
+        if from_client:
+            data = encode_tcp_in_ipv4_ethernet(
+                self.client_ip, self.server_ip, self.client_port,
+                self.server_port, self.client_seq, self.server_seq,
+                flags, payload,
+            )
+            self.client_seq += len(payload) + (1 if flags & (SYN | FIN) else 0)
+        else:
+            data = encode_tcp_in_ipv4_ethernet(
+                self.server_ip, self.client_ip, self.server_port,
+                self.client_port, self.server_seq, self.client_seq,
+                flags, payload,
+            )
+            self.server_seq += len(payload) + (1 if flags & (SYN | FIN) else 0)
+        return PcapPacket(timestamp=ts, data=data)
+
+    def open(self, ts: float) -> list[PcapPacket]:
+        """Three-way handshake."""
+        self.opened = True
+        return [
+            self._frame(ts, True, SYN),
+            self._frame(ts + 1e-4, False, SYN | ACK),
+            self._frame(ts + 2e-4, True, ACK),
+        ]
+
+    def send(self, ts: float, from_client: bool, payload: bytes) -> list[PcapPacket]:
+        """One data push, split into <=1400-byte segments."""
+        frames = []
+        for offset in range(0, len(payload), 1400):
+            chunk = payload[offset : offset + 1400]
+            flags = PSH | ACK if offset + 1400 >= len(payload) else ACK
+            frames.append(self._frame(ts + offset * 1e-9, from_client, flags, chunk))
+        return frames
+
+    def close(self, ts: float) -> list[PcapPacket]:
+        """Graceful FIN/ACK teardown."""
+        return [
+            self._frame(ts, True, FIN | ACK),
+            self._frame(ts + 1e-4, False, FIN | ACK),
+            self._frame(ts + 2e-4, True, ACK),
+        ]
+
+
+def packets_from_trace(
+    trace: Trace,
+    book: AddressBook | None = None,
+) -> tuple[list[PcapPacket], AddressBook]:
+    """Materialize a synthetic trace as Ethernet/IPv4/TCP packets.
+
+    One TCP connection is opened per (client, server) pair and all of the
+    pair's transactions ride it in order (persistent connection).  Returns
+    the packets sorted by timestamp together with the address book used,
+    so callers can map IPs back to host names after a round-trip.
+    """
+    book = book or AddressBook()
+    encoders: dict[tuple[str, str], _ConnectionEncoder] = {}
+    packets: list[PcapPacket] = []
+    next_port = 40000
+    last_ts: dict[tuple[str, str], float] = {}
+    for txn in trace.transactions:
+        pair = (txn.client, txn.server)
+        encoder = encoders.get(pair)
+        if encoder is None:
+            encoder = _ConnectionEncoder(
+                book.ip_of(txn.client), book.ip_of(txn.server), next_port
+            )
+            next_port += 1
+            encoders[pair] = encoder
+            packets.extend(encoder.open(txn.timestamp - 5e-4))
+        req = txn.request
+        headers = req.headers.copy()
+        headers.set("Host", txn.server)
+        raw_req = RawHttpRequest(
+            method=req.method.value if req.method != HttpMethod.OTHER else "TRACE",
+            uri=req.uri,
+            version=req.version,
+            headers=headers,
+            body=req.body,
+        )
+        packets.extend(encoder.send(req.timestamp, True, serialize_request(raw_req)))
+        if txn.response is not None:
+            res = txn.response
+            body = res.body or b"\x00" * min(res.body_size, 2048)
+            raw_res = RawHttpResponse(
+                version=res.version,
+                status=res.status,
+                reason="",
+                headers=res.headers.copy(),
+                body=body,
+            )
+            packets.extend(
+                encoder.send(res.timestamp, False, serialize_response(raw_res))
+            )
+            last_ts[pair] = res.timestamp
+        else:
+            last_ts[pair] = req.timestamp
+    for pair, encoder in encoders.items():
+        packets.extend(encoder.close(last_ts[pair] + 1e-3))
+    packets.sort(key=lambda p: p.timestamp)
+    return packets, book

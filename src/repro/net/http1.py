@@ -1,0 +1,257 @@
+"""HTTP/1.x wire-format parser and serializer.
+
+Parses reassembled TCP byte streams into request and response message
+sequences (persistent connections supported), handling ``Content-Length``
+bodies, ``Transfer-Encoding: chunked``, and read-until-close responses.
+The serializer is the inverse, used when materializing synthetic traces
+into real pcap files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import Headers
+from repro.exceptions import HttpParseError
+
+__all__ = [
+    "RawHttpRequest",
+    "RawHttpResponse",
+    "parse_requests",
+    "parse_responses",
+    "serialize_request",
+    "serialize_response",
+]
+
+_CRLF = b"\r\n"
+_HEADER_END = b"\r\n\r\n"
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+@dataclass
+class RawHttpRequest:
+    """A parsed request line + headers + body, before domain mapping."""
+
+    method: str
+    uri: str
+    version: str
+    headers: Headers
+    body: bytes
+    #: Byte offset of the message start within its direction's stream.
+    offset: int = 0
+
+
+@dataclass
+class RawHttpResponse:
+    """A parsed status line + headers + body, before domain mapping."""
+
+    version: str
+    status: int
+    reason: str
+    headers: Headers
+    body: bytes
+    #: Byte offset of the message start within its direction's stream.
+    offset: int = 0
+
+
+def _split_headers(block: bytes) -> tuple[str, Headers]:
+    """Split a header block into (start line, Headers)."""
+    lines = block.split(_CRLF)
+    start = lines[0].decode("latin-1")
+    items: list[tuple[str, str]] = []
+    for line in lines[1:]:
+        if not line:
+            continue
+        if line[:1] in (b" ", b"\t") and items:
+            # Obsolete header folding: append to the previous value.
+            name, value = items[-1]
+            items[-1] = (name, value + " " + line.strip().decode("latin-1"))
+            continue
+        if b":" not in line:
+            raise HttpParseError(f"malformed header line: {line[:60]!r}")
+        name, _, value = line.partition(b":")
+        items.append((name.decode("latin-1").strip(), value.decode("latin-1").strip()))
+    return start, Headers(items)
+
+
+def _read_chunked(data: bytes, offset: int) -> tuple[bytes, int]:
+    """Decode a chunked body starting at ``offset``; returns (body, end)."""
+    body = bytearray()
+    pos = offset
+    while True:
+        line_end = data.find(_CRLF, pos)
+        if line_end < 0:
+            raise HttpParseError("truncated chunk size line")
+        size_token = data[pos:line_end].split(b";", 1)[0].strip()
+        try:
+            size = int(size_token, 16)
+        except ValueError as exc:
+            raise HttpParseError(f"bad chunk size: {size_token!r}") from exc
+        pos = line_end + 2
+        if size == 0:
+            # Skip trailers until the blank line.
+            trailer_end = data.find(_HEADER_END, pos - 2)
+            if data[pos : pos + 2] == _CRLF:
+                return bytes(body), pos + 2
+            if trailer_end < 0:
+                raise HttpParseError("truncated chunk trailers")
+            return bytes(body), trailer_end + 4
+        if len(data) < pos + size + 2:
+            raise HttpParseError("truncated chunk body")
+        body.extend(data[pos : pos + size])
+        pos += size
+        if data[pos : pos + 2] != _CRLF:
+            raise HttpParseError("missing chunk terminator")
+        pos += 2
+
+
+def _body_length(headers: Headers) -> int | None:
+    """Declared body length, or None when unspecified."""
+    declared = headers.get("Content-Length")
+    if declared:
+        try:
+            length = int(declared)
+        except ValueError as exc:
+            raise HttpParseError(f"bad Content-Length: {declared!r}") from exc
+        if length < 0:
+            raise HttpParseError(f"negative Content-Length: {length}")
+        return length
+    return None
+
+
+def _is_chunked(headers: Headers) -> bool:
+    return "chunked" in headers.get("Transfer-Encoding", "").lower()
+
+
+def parse_requests(data: bytes) -> list[RawHttpRequest]:
+    """Parse a client-direction byte stream into pipelined requests.
+
+    A trailing incomplete message (cut off by capture truncation) is
+    silently dropped; a malformed *leading* message raises
+    :class:`HttpParseError`.
+    """
+    requests: list[RawHttpRequest] = []
+    pos = 0
+    while pos < len(data):
+        message_start = pos
+        header_end = data.find(_HEADER_END, pos)
+        if header_end < 0:
+            if len(data) - pos > _MAX_HEADER_BYTES:
+                raise HttpParseError("unterminated request header block")
+            break  # truncated trailing message
+        start, headers = _split_headers(data[pos:header_end])
+        parts = start.split(" ", 2)
+        if len(parts) < 3 or not parts[2].startswith("HTTP/"):
+            raise HttpParseError(f"bad request line: {start!r}")
+        method, uri, version = parts
+        body_start = header_end + 4
+        if _is_chunked(headers):
+            body, pos = _read_chunked(data, body_start)
+        else:
+            length = _body_length(headers) or 0
+            if len(data) < body_start + length:
+                break  # truncated trailing body
+            body = data[body_start : body_start + length]
+            pos = body_start + length
+        requests.append(
+            RawHttpRequest(method, uri, version, headers, body,
+                           offset=message_start)
+        )
+    return requests
+
+
+def parse_responses(
+    data: bytes,
+    closed: bool = True,
+    request_methods: list[str] | None = None,
+) -> list[RawHttpResponse]:
+    """Parse a server-direction byte stream into pipelined responses.
+
+    ``closed`` indicates the connection terminated; a final response with
+    neither ``Content-Length`` nor chunking is then read-until-close.
+
+    ``request_methods`` (when known) positions-matches responses to the
+    requests that elicited them: a response to ``HEAD`` carries headers
+    describing the entity but **no body bytes**, whatever its
+    ``Content-Length`` says (RFC 9110 §9.3.2) — without this the framing
+    of every later response on the connection would shift.
+    """
+    responses: list[RawHttpResponse] = []
+    pos = 0
+    while pos < len(data):
+        message_start = pos
+        header_end = data.find(_HEADER_END, pos)
+        if header_end < 0:
+            if len(data) - pos > _MAX_HEADER_BYTES:
+                raise HttpParseError("unterminated response header block")
+            break
+        start, headers = _split_headers(data[pos:header_end])
+        parts = start.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise HttpParseError(f"bad status line: {start!r}")
+        version = parts[0]
+        try:
+            status = int(parts[1])
+        except ValueError as exc:
+            raise HttpParseError(f"bad status code: {parts[1]!r}") from exc
+        reason = parts[2] if len(parts) > 2 else ""
+        body_start = header_end + 4
+        method = (
+            request_methods[len(responses)]
+            if request_methods and len(responses) < len(request_methods)
+            else ""
+        )
+        if method == "HEAD":
+            responses.append(
+                RawHttpResponse(version, status, reason, headers, b"",
+                                offset=message_start)
+            )
+            pos = body_start
+            continue
+        if _is_chunked(headers):
+            body, pos = _read_chunked(data, body_start)
+        else:
+            length = _body_length(headers)
+            if length is None:
+                if status < 200 or status in (204, 304):
+                    body, pos = b"", body_start
+                elif closed:
+                    body, pos = data[body_start:], len(data)
+                else:
+                    break  # cannot delimit yet
+            else:
+                if len(data) < body_start + length:
+                    break
+                body = data[body_start : body_start + length]
+                pos = body_start + length
+        responses.append(
+            RawHttpResponse(version, status, reason, headers, body,
+                            offset=message_start)
+        )
+    return responses
+
+
+def serialize_request(req: RawHttpRequest) -> bytes:
+    """Serialize a request back to wire format (Content-Length framing)."""
+    headers = req.headers.copy()
+    headers.remove("Transfer-Encoding")
+    if req.body or req.method in ("POST", "PUT"):
+        headers.set("Content-Length", str(len(req.body)))
+    lines = [f"{req.method} {req.uri} {req.version}".encode("latin-1")]
+    lines.extend(
+        f"{name}: {value}".encode("latin-1") for name, value in headers
+    )
+    return _CRLF.join(lines) + _HEADER_END + req.body
+
+
+def serialize_response(res: RawHttpResponse) -> bytes:
+    """Serialize a response back to wire format (Content-Length framing)."""
+    headers = res.headers.copy()
+    headers.remove("Transfer-Encoding")
+    headers.set("Content-Length", str(len(res.body)))
+    reason = res.reason or "OK"
+    lines = [f"{res.version} {res.status} {reason}".encode("latin-1")]
+    lines.extend(
+        f"{name}: {value}".encode("latin-1") for name, value in headers
+    )
+    return _CRLF.join(lines) + _HEADER_END + res.body

@@ -1,0 +1,160 @@
+"""Classic libpcap file format reader and writer (pure Python).
+
+Implements the 24-byte global header + per-record headers of the classic
+``.pcap`` format (magic ``0xa1b2c3d4``), including byte-order and
+nanosecond-magic variants.  Only what DynaMiner needs: linktype EN10MB
+(Ethernet) and RAW IP captures.
+
+The paper's pipeline starts from PCAP traces of HTTP conversations; this
+module is the entry point of our equivalent pipeline:
+``pcap → ethernet/ip/tcp decode → stream reassembly → HTTP transactions``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+from repro.exceptions import PcapError
+
+__all__ = [
+    "LINKTYPE_ETHERNET",
+    "LINKTYPE_RAW_IP",
+    "PcapPacket",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+]
+
+#: Link-layer header types (subset) per the tcpdump LINKTYPE registry.
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW_IP = 101
+
+_MAGIC_USEC = 0xA1B2C3D4
+_MAGIC_NSEC = 0xA1B23C4D
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class PcapPacket:
+    """One captured packet: a timestamp and its link-layer bytes.
+
+    ``timestamp`` is seconds since the epoch (float, sub-second resolution
+    preserved from the capture's tick unit).  ``orig_len`` is the original
+    on-the-wire length; ``data`` may be truncated to the capture snaplen.
+    """
+
+    timestamp: float
+    data: bytes
+    orig_len: int = -1
+
+    def __post_init__(self) -> None:
+        if self.orig_len < 0:
+            object.__setattr__(self, "orig_len", len(self.data))
+
+
+class PcapReader:
+    """Iterates :class:`PcapPacket` records out of a classic pcap stream.
+
+    Handles both little- and big-endian captures and both microsecond and
+    nanosecond timestamp magics.
+    """
+
+    def __init__(self, stream: BinaryIO):
+        header = stream.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise PcapError("truncated pcap global header")
+        magic_le = struct.unpack("<I", header[:4])[0]
+        magic_be = struct.unpack(">I", header[:4])[0]
+        if magic_le in (_MAGIC_USEC, _MAGIC_NSEC):
+            self._endian = "<"
+            magic = magic_le
+        elif magic_be in (_MAGIC_USEC, _MAGIC_NSEC):
+            self._endian = ">"
+            magic = magic_be
+        else:
+            raise PcapError(f"bad pcap magic: 0x{magic_le:08x}")
+        self._tick = 1e-9 if magic == _MAGIC_NSEC else 1e-6
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        _, self.version_major, self.version_minor = fields[0], fields[1], fields[2]
+        self.snaplen = fields[5]
+        self.linktype = fields[6]
+        self._stream = stream
+        self._record = struct.Struct(self._endian + "IIII")
+
+    def __iter__(self) -> Iterator[PcapPacket]:
+        while True:
+            header = self._stream.read(self._record.size)
+            if not header:
+                return
+            if len(header) < self._record.size:
+                raise PcapError("truncated pcap record header")
+            ts_sec, ts_frac, incl_len, orig_len = self._record.unpack(header)
+            if incl_len > self.snaplen and self.snaplen:
+                raise PcapError(
+                    f"record length {incl_len} exceeds snaplen {self.snaplen}"
+                )
+            data = self._stream.read(incl_len)
+            if len(data) < incl_len:
+                raise PcapError("truncated pcap record body")
+            yield PcapPacket(
+                timestamp=ts_sec + ts_frac * self._tick,
+                data=data,
+                orig_len=orig_len,
+            )
+
+
+class PcapWriter:
+    """Writes :class:`PcapPacket` records in classic little-endian pcap."""
+
+    def __init__(
+        self,
+        stream: BinaryIO,
+        linktype: int = LINKTYPE_ETHERNET,
+        snaplen: int = 262144,
+    ):
+        self._stream = stream
+        self.linktype = linktype
+        self.snaplen = snaplen
+        stream.write(
+            _GLOBAL_HEADER.pack(_MAGIC_USEC, 2, 4, 0, 0, snaplen, linktype)
+        )
+
+    def write(self, packet: PcapPacket) -> None:
+        """Append one packet record."""
+        data = packet.data[: self.snaplen]
+        ts_sec = int(packet.timestamp)
+        ts_usec = int(round((packet.timestamp - ts_sec) * 1e6))
+        if ts_usec >= 1_000_000:  # rounding spill-over
+            ts_sec += 1
+            ts_usec -= 1_000_000
+        self._stream.write(
+            _RECORD_HEADER.pack(ts_sec, ts_usec, len(data), packet.orig_len)
+        )
+        self._stream.write(data)
+
+
+def read_pcap(path: str) -> tuple[int, list[PcapPacket]]:
+    """Read a pcap file; returns ``(linktype, packets)``."""
+    with open(path, "rb") as handle:
+        reader = PcapReader(handle)
+        return reader.linktype, list(reader)
+
+
+def write_pcap(
+    path: str,
+    packets: Iterable[PcapPacket],
+    linktype: int = LINKTYPE_ETHERNET,
+) -> int:
+    """Write packets to ``path``; returns the number written."""
+    count = 0
+    with open(path, "wb") as handle:
+        writer = PcapWriter(handle, linktype=linktype)
+        for packet in packets:
+            writer.write(packet)
+            count += 1
+    return count

@@ -1,0 +1,242 @@
+"""TCP stream reassembly.
+
+Turns a time-ordered sequence of decoded TCP segments into per-direction
+contiguous byte streams, keyed by connection 4-tuple.  Handles SYN
+handshakes, out-of-order arrival, retransmission/overlap, and FIN/RST
+teardown.  This sits between the packet codecs and the HTTP parser,
+mirroring the deep-packet-inspection step the paper performs on its
+PCAP corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import TcpReassemblyError
+from repro.net.packets import TcpSegment
+
+__all__ = ["FlowKey", "StreamDirection", "TcpStream", "TcpReassembler"]
+
+_SEQ_MOD = 1 << 32
+#: Refuse to buffer more than this many out-of-order bytes per direction.
+_MAX_BUFFERED = 32 * 1024 * 1024
+
+
+@dataclass(frozen=True, order=True)
+class FlowKey:
+    """Canonical (sorted) connection identifier.
+
+    A ``FlowKey`` identifies the *connection*, not a direction: both
+    directions of one TCP connection map to the same key.
+    """
+
+    ip_a: str
+    port_a: int
+    ip_b: str
+    port_b: int
+
+    @classmethod
+    def of(cls, src_ip: str, src_port: int, dst_ip: str, dst_port: int) -> "FlowKey":
+        """Build the canonical key for a segment's endpoints."""
+        if (src_ip, src_port) <= (dst_ip, dst_port):
+            return cls(src_ip, src_port, dst_ip, dst_port)
+        return cls(dst_ip, dst_port, src_ip, src_port)
+
+
+@dataclass
+class StreamDirection:
+    """Reassembly state for one direction of a connection."""
+
+    src: tuple[str, int]
+    dst: tuple[str, int]
+    data: bytearray = field(default_factory=bytearray)
+    next_seq: int | None = None
+    pending: dict[int, bytes] = field(default_factory=dict)
+    fin_seen: bool = False
+    first_ts: float | None = None
+    last_ts: float | None = None
+    #: (stream byte offset, arrival timestamp) marks for contiguous data,
+    #: letting the HTTP layer recover per-message timestamps.
+    marks: list[tuple[int, float]] = field(default_factory=list)
+
+    def timestamp_at(self, offset: int) -> float:
+        """Arrival time of the segment containing stream ``offset``."""
+        chosen = self.first_ts or 0.0
+        for mark_offset, mark_ts in self.marks:
+            if mark_offset <= offset:
+                chosen = mark_ts
+            else:
+                break
+        return chosen
+
+    def _drain_pending(self, timestamp: float) -> None:
+        while self.next_seq in self.pending:
+            chunk = self.pending.pop(self.next_seq)
+            self.marks.append((len(self.data), timestamp))
+            self.data.extend(chunk)
+            self.next_seq = (self.next_seq + len(chunk)) % _SEQ_MOD
+
+    def feed(self, seq: int, payload: bytes, timestamp: float) -> None:
+        """Insert one segment's payload at sequence ``seq``."""
+        if self.first_ts is None:
+            self.first_ts = timestamp
+        self.last_ts = timestamp
+        if not payload:
+            return
+        if self.next_seq is None:
+            # No SYN observed: adopt the first payload's seq as origin.
+            self.next_seq = seq
+        # Relative offset modulo 2^32, interpreted as a signed distance.
+        delta = (seq - self.next_seq) % _SEQ_MOD
+        if delta >= _SEQ_MOD // 2:
+            # Entirely retransmitted data (or overlapping prefix).
+            behind = _SEQ_MOD - delta
+            if behind >= len(payload):
+                return
+            payload = payload[behind:]
+            delta = 0
+        if delta == 0:
+            self.marks.append((len(self.data), timestamp))
+            self.data.extend(payload)
+            self.next_seq = (self.next_seq + len(payload)) % _SEQ_MOD
+            self._drain_pending(timestamp)
+        else:
+            buffered = sum(len(chunk) for chunk in self.pending.values())
+            if buffered + len(payload) > _MAX_BUFFERED:
+                raise TcpReassemblyError(
+                    f"out-of-order buffer overflow on {self.src}->{self.dst}"
+                )
+            existing = self.pending.get(seq)
+            if existing is None or len(existing) < len(payload):
+                self.pending[seq] = payload
+
+    @property
+    def has_gap(self) -> bool:
+        """True when out-of-order data is still waiting on a hole."""
+        return bool(self.pending)
+
+
+@dataclass
+class TcpStream:
+    """Both directions of one reassembled TCP connection."""
+
+    key: FlowKey
+    client: tuple[str, int] | None = None
+    directions: dict[tuple[str, int], StreamDirection] = field(default_factory=dict)
+    closed: bool = False
+
+    def direction(self, src: tuple[str, int], dst: tuple[str, int]) -> StreamDirection:
+        """Get or create the reassembly state for ``src -> dst``."""
+        state = self.directions.get(src)
+        if state is None:
+            state = StreamDirection(src=src, dst=dst)
+            self.directions[src] = state
+        return state
+
+    @property
+    def client_data(self) -> bytes:
+        """Bytes sent by the connection initiator (requests)."""
+        if self.client is None:
+            return b""
+        state = self.directions.get(self.client)
+        return bytes(state.data) if state else b""
+
+    @property
+    def server_data(self) -> bytes:
+        """Bytes sent by the accepting side (responses)."""
+        if self.client is None:
+            return b""
+        for src, state in self.directions.items():
+            if src != self.client:
+                return bytes(state.data)
+        return b""
+
+    @property
+    def server(self) -> tuple[str, int] | None:
+        """The accepting endpoint, once known."""
+        if self.client is None:
+            return None
+        for src in self.directions:
+            if src != self.client:
+                return src
+        return (self.key.ip_b, self.key.port_b) if self.client == (
+            self.key.ip_a,
+            self.key.port_a,
+        ) else (self.key.ip_a, self.key.port_a)
+
+    @property
+    def start_time(self) -> float:
+        """Earliest timestamp observed on either direction."""
+        stamps = [
+            state.first_ts
+            for state in self.directions.values()
+            if state.first_ts is not None
+        ]
+        return min(stamps) if stamps else 0.0
+
+
+class TcpReassembler:
+    """Feeds decoded segments and yields completed / in-progress streams.
+
+    Usage::
+
+        reassembler = TcpReassembler()
+        for ts, src_ip, dst_ip, segment in segments:
+            reassembler.feed(ts, src_ip, dst_ip, segment)
+        for stream in reassembler.streams():
+            ...
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[FlowKey, TcpStream] = {}
+
+    def feed(
+        self,
+        timestamp: float,
+        src_ip: str,
+        dst_ip: str,
+        segment: TcpSegment,
+    ) -> TcpStream:
+        """Process one segment; returns the (possibly new) owning stream."""
+        key = FlowKey.of(src_ip, segment.src_port, dst_ip, segment.dst_port)
+        stream = self._streams.get(key)
+        if stream is None:
+            stream = TcpStream(key=key)
+            self._streams[key] = stream
+        src = (src_ip, segment.src_port)
+        dst = (dst_ip, segment.dst_port)
+        state = stream.direction(src, dst)
+        if segment.syn and not segment.is_ack:
+            stream.client = src
+            state.next_seq = (segment.seq + 1) % _SEQ_MOD
+        elif segment.syn and segment.is_ack:
+            state.next_seq = (segment.seq + 1) % _SEQ_MOD
+            if stream.client is None:
+                stream.client = dst
+        else:
+            if stream.client is None and segment.payload:
+                # Mid-capture stream: guess the initiator as the side whose
+                # destination port looks like a service port.
+                if segment.dst_port in (80, 443, 8080, 3128) or (
+                    segment.dst_port < 1024 <= segment.src_port
+                ):
+                    stream.client = src
+                else:
+                    stream.client = dst
+            state.feed(segment.seq, segment.payload, timestamp)
+        if segment.fin:
+            state.fin_seen = True
+        if segment.rst:
+            stream.closed = True
+        if all(d.fin_seen for d in stream.directions.values()) and len(
+            stream.directions
+        ) == 2:
+            stream.closed = True
+        return stream
+
+    def streams(self) -> list[TcpStream]:
+        """All streams seen so far, ordered by start time."""
+        return sorted(self._streams.values(), key=lambda s: s.start_time)
+
+    def __len__(self) -> int:
+        return len(self._streams)

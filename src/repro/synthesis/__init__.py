@@ -1,0 +1,60 @@
+"""Calibrated trace synthesis standing in for the paper's PCAP corpora.
+
+See DESIGN.md §2 for the substitution rationale: every generator is
+calibrated on statistics published in the paper (Table I, Figures 1-4,
+Section III-D global properties) so the feature distributions the
+classifier sees match the paper's.
+"""
+
+from repro.synthesis.benign import BenignGenerator, BenignScenario, SCENARIO_WEIGHTS
+from repro.synthesis.casestudy import (
+    DownloadRecord,
+    StreamedSession,
+    enterprise_live_session,
+    forensic_streaming_session,
+)
+from repro.synthesis.corpus import Corpus, ground_truth_corpus, validation_corpus
+from repro.synthesis.enticement import (
+    ENTICEMENT_DISTRIBUTION,
+    Enticement,
+    EnticementKind,
+    draw_enticement,
+)
+from repro.synthesis.entities import NameForge, TRUSTED_VENDORS
+from repro.synthesis.families import (
+    BENIGN_PROFILE,
+    EXPLOIT_KIT_FAMILIES,
+    FamilyProfile,
+    Range,
+    family_by_name,
+)
+from repro.synthesis.infection import EpisodeConfig, InfectionGenerator
+from repro.synthesis.obfuscation import ObfuscationStyle, obfuscate_redirect
+
+__all__ = [
+    "BENIGN_PROFILE",
+    "BenignGenerator",
+    "BenignScenario",
+    "Corpus",
+    "DownloadRecord",
+    "ENTICEMENT_DISTRIBUTION",
+    "EXPLOIT_KIT_FAMILIES",
+    "Enticement",
+    "EnticementKind",
+    "EpisodeConfig",
+    "FamilyProfile",
+    "InfectionGenerator",
+    "NameForge",
+    "ObfuscationStyle",
+    "Range",
+    "SCENARIO_WEIGHTS",
+    "StreamedSession",
+    "TRUSTED_VENDORS",
+    "draw_enticement",
+    "enterprise_live_session",
+    "family_by_name",
+    "forensic_streaming_session",
+    "ground_truth_corpus",
+    "obfuscate_redirect",
+    "validation_corpus",
+]

@@ -1,0 +1,99 @@
+"""Enticement-origin model (Section II-B, Figures 1 and 2).
+
+Encodes the paper's measured distribution of how victims were lured to
+malware sites: search engines dominate (Google 37%, Bing 25%), referrers
+are empty in 17.76% of traces (intentional concealment), compromised
+sites account for 12.84%, privacy-redacted referrers 7.51%, and social
+networks under 1%.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.synthesis.entities import NameForge, SOCIAL_SITES
+
+__all__ = ["EnticementKind", "ENTICEMENT_DISTRIBUTION", "Enticement",
+           "draw_enticement"]
+
+
+class EnticementKind(enum.Enum):
+    """How the victim reached the first hop of the conversation."""
+
+    GOOGLE = "google"
+    BING = "bing"
+    COMPROMISED = "compromised"
+    EMPTY = "empty"
+    REDACTED = "redacted"
+    SOCIAL = "social"
+    LEGITIMATE = "legitimate"
+
+
+#: Figure 1 distribution.  The published percentages sum slightly above
+#: 100% (category overlap in the paper's accounting), so we keep the
+#: published relative masses, give "legitimate sites linking to malicious
+#: sites" a small explicit share, and normalize at draw time.
+_RAW_DISTRIBUTION: dict[EnticementKind, float] = {
+    EnticementKind.GOOGLE: 0.37,
+    EnticementKind.BING: 0.25,
+    EnticementKind.EMPTY: 0.1776,
+    EnticementKind.COMPROMISED: 0.1284,
+    EnticementKind.REDACTED: 0.0751,
+    EnticementKind.SOCIAL: 0.008,
+    EnticementKind.LEGITIMATE: 0.02,
+}
+_TOTAL = sum(_RAW_DISTRIBUTION.values())
+ENTICEMENT_DISTRIBUTION: dict[EnticementKind, float] = {
+    kind: mass / _TOTAL for kind, mass in _RAW_DISTRIBUTION.items()
+}
+
+
+class Enticement:
+    """A drawn enticement: kind, origin host, referrer URL (may be '')."""
+
+    __slots__ = ("kind", "origin_host", "referrer_url")
+
+    def __init__(self, kind: EnticementKind, origin_host: str,
+                 referrer_url: str):
+        self.kind = kind
+        self.origin_host = origin_host
+        self.referrer_url = referrer_url
+
+    @property
+    def concealed(self) -> bool:
+        """True when the victim's referrer was removed or redacted."""
+        return self.kind in (EnticementKind.EMPTY, EnticementKind.REDACTED)
+
+    def __repr__(self) -> str:
+        return (
+            f"Enticement(kind={self.kind.value}, origin={self.origin_host!r})"
+        )
+
+
+def draw_enticement(rng: np.random.Generator, forge: NameForge) -> Enticement:
+    """Sample one enticement from the Figure 1 distribution."""
+    kinds = list(ENTICEMENT_DISTRIBUTION)
+    weights = np.array([ENTICEMENT_DISTRIBUTION[k] for k in kinds])
+    weights = weights / weights.sum()
+    kind = kinds[int(rng.choice(len(kinds), p=weights))]
+    if kind is EnticementKind.GOOGLE:
+        host = "google.com"
+        url = f"http://google.com/search?q={forge.token(8)}"
+    elif kind is EnticementKind.BING:
+        host = "bing.com"
+        url = f"http://bing.com/search?q={forge.token(8)}"
+    elif kind is EnticementKind.COMPROMISED:
+        host = forge.compromised_site()
+        url = f"http://{host}{forge.cms_uri()}"
+    elif kind is EnticementKind.SOCIAL:
+        host = forge.choice(SOCIAL_SITES)
+        url = f"http://{host}/l/{forge.token(10)}"
+    elif kind is EnticementKind.LEGITIMATE:
+        host = forge.domain(tld="com")
+        url = f"http://{host}{forge.uri(depth=2, extension='html')}"
+    else:  # EMPTY or REDACTED: referrer concealed
+        host = ""
+        url = ""
+    return Enticement(kind=kind, origin_host=host, referrer_url=url)

@@ -1,0 +1,207 @@
+"""Deterministic entity generators: domains, hosts, IPs, URIs, payloads.
+
+All randomness flows through an injected ``numpy.random.Generator`` so
+corpora are reproducible from a seed (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SEARCH_ENGINES",
+    "SOCIAL_SITES",
+    "WEBMAIL_SITES",
+    "VIDEO_SITES",
+    "TRUSTED_VENDORS",
+    "ALEXA_SITES",
+    "NameForge",
+]
+
+#: Well-known benign sites used in enticement and benign scenarios.
+SEARCH_ENGINES = ("google.com", "bing.com", "search.yahoo.com", "duckduckgo.com")
+SOCIAL_SITES = ("facebook.com", "twitter.com", "linkedin.com", "reddit.com")
+WEBMAIL_SITES = ("mail.google.com", "mail.yahoo.com", "outlook.live.com")
+VIDEO_SITES = ("youtube.com", "vimeo.com", "dailymotion.com")
+
+#: Trusted software vendors / app stores whose download traffic the
+#: detector weeds out (Section V-B noise reduction).
+TRUSTED_VENDORS = (
+    "download.microsoft.com",
+    "update.microsoft.com",
+    "dl.google.com",
+    "swcdn.apple.com",
+    "downloads.mozilla.org",
+    "archive.ubuntu.com",
+    "pypi.org",
+    "registry.npmjs.org",
+    "store.steampowered.com",
+)
+
+#: A slice of popular sites standing in for Alexa Top-1M visits.
+ALEXA_SITES = (
+    "wikipedia.org", "amazon.com", "nytimes.com", "cnn.com", "bbc.co.uk",
+    "stackoverflow.com", "github.com", "imdb.com", "espn.com", "weather.com",
+    "etsy.com", "yelp.com", "tripadvisor.com", "booking.com", "wordpress.com",
+)
+
+_SYLLABLES = (
+    "ban", "cor", "dex", "fin", "gal", "hub", "jin", "kol", "lum", "mor",
+    "nex", "pix", "qua", "rav", "sol", "tor", "umb", "vex", "wix", "zon",
+    "ark", "bel", "cin", "dra", "eon", "fur", "gro", "hex", "ivo", "jux",
+)
+_TLDS = ("com", "net", "org", "info", "biz", "ru", "in", "top", "xyz", "pw")
+_CMS_PATHS = (
+    "/wp-content/uploads/{y}/{m}/view.php",
+    "/wp-includes/js/swfobject.js",
+    "/wp-admin/admin-ajax.php",
+    "/components/com_content/router.php",
+    "/modules/mod_banners/tmpl/default.php",
+    "/sites/default/files/styles/large/index.php",
+)
+_URI_WORDS = (
+    "index", "view", "main", "page", "load", "show", "get", "feed", "item",
+    "news", "post", "watch", "search", "click", "track", "count", "stat",
+)
+_EK_URI_WORDS = (
+    "gate", "landing", "loader", "counter", "check", "flow", "stream",
+    "forum", "viewtopic", "topic", "search", "player", "media",
+)
+
+
+@dataclass
+class NameForge:
+    """Deterministic factory for synthetic network entities.
+
+    One forge per generated episode/corpus; it never repeats a malicious
+    domain within its lifetime, mirroring the churn of exploit-kit
+    infrastructure.
+    """
+
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        self._minted: set[str] = set()
+
+    def _word(self, syllables: int = 3) -> str:
+        return "".join(
+            _SYLLABLES[int(i)]
+            for i in self.rng.integers(0, len(_SYLLABLES), size=syllables)
+        )
+
+    def domain(self, tld: str | None = None, syllables: int = 3) -> str:
+        """A fresh registered domain (never repeats within this forge).
+
+        When the syllable space for the requested shape is (nearly)
+        exhausted — a real risk for 2-syllable single-TLD draws in
+        full-scale corpora — a numeric disambiguator is appended rather
+        than spinning on collisions forever.
+        """
+        for _ in range(24):
+            chosen_tld = tld or _TLDS[int(self.rng.integers(0, len(_TLDS)))]
+            name = f"{self._word(syllables)}.{chosen_tld}"
+            if name not in self._minted:
+                self._minted.add(name)
+                return name
+        while True:
+            chosen_tld = tld or _TLDS[int(self.rng.integers(0, len(_TLDS)))]
+            name = (
+                f"{self._word(syllables)}"
+                f"{int(self.rng.integers(10, 10_000))}.{chosen_tld}"
+            )
+            if name not in self._minted:
+                self._minted.add(name)
+                return name
+
+    def dga_domain(self) -> str:
+        """An algorithmically-generated-looking C&C domain."""
+        length = int(self.rng.integers(10, 20))
+        letters = "abcdefghijklmnopqrstuvwxyz0123456789"
+        while True:
+            body = "".join(
+                letters[int(i)]
+                for i in self.rng.integers(0, len(letters), size=length)
+            )
+            tld = _TLDS[int(self.rng.integers(4, len(_TLDS)))]
+            name = f"{body}.{tld}"
+            if name not in self._minted:
+                self._minted.add(name)
+                return name
+
+    def subdomain(self, parent: str) -> str:
+        """A fresh subdomain of ``parent``."""
+        return f"{self._word(2)}.{parent}"
+
+    def compromised_site(self) -> str:
+        """A compromised small-business-looking site (CMS-hosted)."""
+        return self.domain(tld="com", syllables=2)
+
+    def cms_uri(self) -> str:
+        """A URI matching a default CMS installation path (Section II-B).
+
+        WordPress dominates compromised-site enticements (the paper
+        matched 56 of 94 against default WordPress installs), so the
+        WordPress templates carry 60% of the draw mass.
+        """
+        if self.rng.random() < 0.6:
+            template = _CMS_PATHS[int(self.rng.integers(0, 3))]  # WordPress
+        else:
+            template = _CMS_PATHS[int(self.rng.integers(3, len(_CMS_PATHS)))]
+        return template.format(
+            y=int(self.rng.integers(2013, 2017)), m=int(self.rng.integers(1, 13))
+        )
+
+    def ip(self) -> str:
+        """A public-looking IPv4 address."""
+        octets = self.rng.integers(1, 254, size=4)
+        return f"{int(octets[0]) % 200 + 20}.{int(octets[1])}.{int(octets[2])}.{int(octets[3])}"
+
+    def token(self, length: int = 16) -> str:
+        """A random hex token (session IDs, cache busters)."""
+        digits = "0123456789abcdef"
+        return "".join(
+            digits[int(i)] for i in self.rng.integers(0, 16, size=length)
+        )
+
+    def uri(self, depth: int = 2, extension: str = "", query: bool = False,
+            exploit_kit: bool = False) -> str:
+        """A plausible URI path, optionally with extension and query."""
+        words = _EK_URI_WORDS if exploit_kit else _URI_WORDS
+        parts = [
+            words[int(i)]
+            for i in self.rng.integers(0, len(words), size=max(1, depth))
+        ]
+        path = "/" + "/".join(parts)
+        if extension:
+            path += f".{extension.lstrip('.')}"
+        if query:
+            path += f"?id={self.token(8)}&r={int(self.rng.integers(1, 10**6))}"
+        return path
+
+    def long_ek_uri(self, extension: str = "") -> str:
+        """An exploit-kit-style long URI with encoded parameters."""
+        path = self.uri(depth=2, exploit_kit=True)
+        if extension:
+            path += f".{extension}"
+        blob = self.token(int(self.rng.integers(8, 48)))
+        return f"{path}?{self.token(4)}={blob}&sid={self.token(12)}"
+
+    def user_agent(self) -> str:
+        """A browser user-agent string."""
+        agents = (
+            "Mozilla/5.0 (Windows NT 6.1; WOW64; Trident/7.0; rv:11.0) like Gecko",
+            "Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 6.1)",
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36"
+            " (KHTML, like Gecko) Chrome/51.0.2704.103 Safari/537.36",
+            "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_11_5) AppleWebKit/601.6.17"
+            " (KHTML, like Gecko) Version/9.1.1 Safari/601.6.17",
+            "Mozilla/5.0 (X11; Ubuntu; Linux x86_64; rv:47.0) Gecko/20100101"
+            " Firefox/47.0",
+        )
+        return agents[int(self.rng.integers(0, len(agents)))]
+
+    def choice(self, options: tuple[str, ...]) -> str:
+        """Uniform choice from a tuple of strings."""
+        return options[int(self.rng.integers(0, len(options)))]

@@ -1,0 +1,155 @@
+"""Exploit-kit family profiles calibrated on Table I of the paper.
+
+Each :class:`FamilyProfile` encodes one row of the ground-truth table:
+trace counts, host-count and redirect-count ranges, and per-family unique
+payload counts by extension.  The infection generator draws per-episode
+parameters from these profiles so the synthetic corpus reproduces the
+table's marginals (the calibration is asserted in
+``benchmarks/test_bench_table1.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Range", "FamilyProfile", "EXPLOIT_KIT_FAMILIES", "BENIGN_PROFILE",
+           "family_by_name", "TOTAL_INFECTION_TRACES"]
+
+
+@dataclass(frozen=True)
+class Range:
+    """A (min, max, avg) triple as reported in Table I."""
+
+    low: int
+    high: int
+    mean: float
+
+
+@dataclass(frozen=True)
+class FamilyProfile:
+    """One Table I row plus behavioural knobs used by the generator.
+
+    ``payload_counts`` are *corpus-wide unique payload counts* per
+    extension; dividing by ``trace_count`` yields the per-episode rate the
+    generator targets.  ``post_download_prob`` defaults to the paper's
+    708/770 call-back prevalence; ``redirectless_prob`` to the 11/770
+    WCGs observed with no redirections (Section VII).
+    """
+
+    name: str
+    trace_count: int
+    hosts: Range
+    redirects: Range
+    payload_counts: dict[str, int] = field(default_factory=dict)
+    post_download_prob: float = 708 / 770
+    redirectless_prob: float = 11 / 770
+    #: Exploit payload of choice when the episode drops a single file.
+    signature_payloads: tuple[str, ...] = ("exe", "jar")
+
+    @property
+    def payload_rate(self) -> dict[str, float]:
+        """Expected payloads per episode, by extension."""
+        return {
+            ext: count / self.trace_count
+            for ext, count in self.payload_counts.items()
+        }
+
+
+#: Table I, infection rows.  payload_counts keys use extension names
+#: (pdf/exe/jar/swf/crypt/js) exactly as the table's columns.
+EXPLOIT_KIT_FAMILIES: tuple[FamilyProfile, ...] = (
+    FamilyProfile(
+        name="Angler", trace_count=253,
+        hosts=Range(2, 74, 6), redirects=Range(0, 18, 1),
+        payload_counts={"pdf": 0, "exe": 80, "jar": 133, "swf": 0,
+                        "crypt": 64, "js": 1163},
+        signature_payloads=("jar", "exe", "crypt", "swf"),
+    ),
+    FamilyProfile(
+        name="RIG", trace_count=62,
+        hosts=Range(2, 17, 4), redirects=Range(0, 3, 1),
+        payload_counts={"pdf": 0, "exe": 35, "jar": 74, "swf": 13,
+                        "crypt": 0, "js": 240},
+        signature_payloads=("jar", "exe", "swf"),
+    ),
+    FamilyProfile(
+        name="Nuclear", trace_count=132,
+        hosts=Range(2, 213, 8), redirects=Range(0, 18, 1),
+        payload_counts={"pdf": 8, "exe": 730, "jar": 146, "swf": 13,
+                        "crypt": 11, "js": 935},
+        signature_payloads=("exe", "jar"),
+    ),
+    FamilyProfile(
+        name="Magnitude", trace_count=43,
+        hosts=Range(2, 231, 20), redirects=Range(0, 12, 2),
+        payload_counts={"pdf": 0, "exe": 862, "jar": 22, "swf": 0,
+                        "crypt": 2, "js": 330},
+        signature_payloads=("exe",),
+    ),
+    FamilyProfile(
+        name="SweetOrange", trace_count=33,
+        hosts=Range(2, 90, 8), redirects=Range(0, 6, 1),
+        payload_counts={"pdf": 0, "exe": 310, "jar": 22, "swf": 0,
+                        "crypt": 0, "js": 227},
+        signature_payloads=("exe", "jar"),
+    ),
+    FamilyProfile(
+        name="FlashPack", trace_count=29,
+        hosts=Range(2, 15, 5), redirects=Range(0, 8, 2),
+        payload_counts={"pdf": 0, "exe": 556, "jar": 35, "swf": 0,
+                        "crypt": 0, "js": 159},
+        signature_payloads=("exe", "swf"),
+    ),
+    FamilyProfile(
+        name="Neutrino", trace_count=40,
+        hosts=Range(2, 30, 6), redirects=Range(0, 14, 2),
+        payload_counts={"pdf": 0, "exe": 45, "jar": 31, "swf": 5,
+                        "crypt": 6, "js": 217},
+        signature_payloads=("jar", "exe"),
+    ),
+    FamilyProfile(
+        name="Goon", trace_count=19,
+        hosts=Range(2, 90, 9), redirects=Range(0, 30, 2),
+        payload_counts={"pdf": 0, "exe": 78, "jar": 15, "swf": 10,
+                        "crypt": 0, "js": 71},
+        signature_payloads=("exe", "swf"),
+    ),
+    FamilyProfile(
+        name="Fiesta", trace_count=89,
+        hosts=Range(2, 182, 7), redirects=Range(0, 3, 1),
+        payload_counts={"pdf": 21, "exe": 226, "jar": 72, "swf": 63,
+                        "crypt": 0, "js": 414},
+        signature_payloads=("exe", "jar", "swf", "pdf"),
+    ),
+    FamilyProfile(
+        name="OtherKits", trace_count=70,
+        hosts=Range(2, 68, 4), redirects=Range(0, 5, 1),
+        payload_counts={"pdf": 1, "exe": 420, "jar": 13, "swf": 4,
+                        "crypt": 0, "js": 271},
+        signature_payloads=("exe",),
+    ),
+)
+
+#: Table I, benign row.
+BENIGN_PROFILE = FamilyProfile(
+    name="Benign", trace_count=980,
+    hosts=Range(2, 34, 3), redirects=Range(0, 2, 0),
+    payload_counts={"pdf": 60, "exe": 30, "jar": 3, "swf": 0,
+                    "crypt": 0, "js": 138},
+    post_download_prob=0.0,
+    redirectless_prob=0.0,
+)
+
+TOTAL_INFECTION_TRACES = sum(f.trace_count for f in EXPLOIT_KIT_FAMILIES)
+
+_BY_NAME = {profile.name.lower(): profile for profile in EXPLOIT_KIT_FAMILIES}
+_BY_NAME["benign"] = BENIGN_PROFILE
+
+
+def family_by_name(name: str) -> FamilyProfile:
+    """Look up a profile by (case-insensitive) family name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown family {name!r}; known: {known}") from None

@@ -1,0 +1,494 @@
+"""Exploit-kit infection episode generator.
+
+Synthesizes one complete infection conversation — enticement,
+pre-download redirection chain, exploit payload download(s), and
+post-download C&C call-backs — calibrated on the per-family statistics of
+Table I and the global properties of Section III-D (lifetimes 0.5–4061 s,
+average 123 s).  The output is a labelled
+:class:`~repro.core.model.Trace` of HTTP transactions; everything
+downstream (WCG construction, features, learning) consumes it exactly as
+it would consume transactions recovered from a real PCAP.
+
+Hard-case knobs reproduce the paper's misclassification sources
+(Section VI-B): ``redirectless`` episodes (11/770 in the corpus),
+missing post-download dynamics (~8%), and compressed payload delivery
+with no redirections (the paper's dominant false-negative cause).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import (
+    Headers,
+    HttpMethod,
+    HttpRequest,
+    HttpResponse,
+    HttpTransaction,
+    Trace,
+    TraceLabel,
+)
+from repro.synthesis.enticement import Enticement, EnticementKind, draw_enticement
+from repro.synthesis.entities import NameForge
+from repro.synthesis.families import FamilyProfile
+from repro.synthesis.obfuscation import ObfuscationStyle, obfuscate_redirect, random_style
+from repro.synthesis.sampling import bounded_int, lognormal_bounded
+
+__all__ = ["EpisodeConfig", "InfectionGenerator"]
+
+_PAYLOAD_CONTENT_TYPES = {
+    "pdf": "application/pdf",
+    "exe": "application/x-msdownload",
+    "jar": "application/java-archive",
+    "swf": "application/x-shockwave-flash",
+    "xap": "application/x-silverlight-app",
+    "crypt": "application/octet-stream",
+    "js": "application/javascript",
+    "zip": "application/zip",
+    "dmg": "application/x-apple-diskimage",
+}
+_PAYLOAD_SIZE_RANGES = {
+    "pdf": (40_000, 900_000),
+    "exe": (80_000, 2_500_000),
+    "jar": (10_000, 300_000),
+    "swf": (20_000, 400_000),
+    "xap": (20_000, 400_000),
+    "crypt": (50_000, 1_500_000),
+    "js": (1_000, 80_000),
+    "zip": (50_000, 2_000_000),
+    "dmg": (500_000, 8_000_000),
+}
+_RANSOM_EXTS = ("crypt", "locky", "zepto", "cerber", "encrypted", "locked")
+
+
+@dataclass
+class EpisodeConfig:
+    """Per-episode overrides for hard-case injection.
+
+    ``None`` means "draw from the family profile"; explicit values force
+    the corresponding behaviour (used by tests and the false-negative
+    analysis benches).
+    """
+
+    redirectless: bool | None = None
+    with_post_download: bool | None = None
+    compressed_payload: bool = False
+    #: Stealth episodes reproduce the paper's false-negative causes in
+    #: combination: no redirections, compressed payload delivery, few
+    #: hosts, human-like pacing, no fingerprinting headers — the WCG
+    #: shape of benign browsing (Section VI-B).
+    stealth: bool = False
+    start_time: float | None = None
+
+
+class InfectionGenerator:
+    """Generates infection :class:`Trace` objects for one family."""
+
+    def __init__(self, profile: FamilyProfile, rng: np.random.Generator):
+        self.profile = profile
+        self.rng = rng
+        self.forge = NameForge(rng)
+        self._base_time = 1_400_000_000.0
+
+    # -- low-level emit helpers -------------------------------------------
+
+    def _request(
+        self,
+        method: HttpMethod,
+        host: str,
+        uri: str,
+        ts: float,
+        victim: str,
+        referrer: str = "",
+        user_agent: str = "",
+        extra: dict[str, str] | None = None,
+    ) -> HttpRequest:
+        headers = Headers()
+        if referrer:
+            headers.set("Referer", referrer)
+        headers.set("User-Agent", user_agent or self._ua)
+        headers.set("Host", host)
+        headers.set("Accept", "*/*")
+        for name, value in (extra or {}).items():
+            headers.set(name, value)
+        return HttpRequest(
+            method=method, uri=uri, host=host, client=victim,
+            timestamp=ts, headers=headers,
+        )
+
+    def _response(
+        self,
+        status: int,
+        ts: float,
+        content_type: str = "",
+        body: bytes = b"",
+        size: int | None = None,
+        location: str = "",
+    ) -> HttpResponse:
+        headers = Headers()
+        if content_type:
+            headers.set("Content-Type", content_type)
+        if location:
+            headers.set("Location", location)
+        headers.set("Server", "nginx")
+        length = size if size is not None else len(body)
+        headers.set("Content-Length", str(length))
+        return HttpResponse(status=status, timestamp=ts, headers=headers,
+                            body=body)
+
+    def _payload_response(self, ext: str, ts: float) -> HttpResponse:
+        low, high = _PAYLOAD_SIZE_RANGES.get(ext, (10_000, 500_000))
+        size = int(self.rng.integers(low, high))
+        ctype = _PAYLOAD_CONTENT_TYPES.get(ext, "application/octet-stream")
+        return self._response(200, ts, content_type=ctype, size=size)
+
+    # -- episode assembly ---------------------------------------------------
+
+    def generate(self, config: EpisodeConfig | None = None) -> Trace:
+        """Generate one labelled infection episode."""
+        config = config or EpisodeConfig()
+        rng = self.rng
+        profile = self.profile
+        self._ua = self.forge.user_agent()
+        victim = f"victim-{self.forge.token(6)}"
+
+        duration = lognormal_bounded(rng, 0.5, 4061.0, 123.0)
+        start = (
+            config.start_time
+            if config.start_time is not None
+            else self._base_time + float(rng.uniform(0, 3 * 365 * 86400))
+        )
+        clock = _Clock(start, rng)
+
+        stealth = config.stealth
+        redirectless = (
+            config.redirectless
+            if config.redirectless is not None
+            else stealth or bool(rng.random() < profile.redirectless_prob)
+        )
+        with_post = (
+            config.with_post_download
+            if config.with_post_download is not None
+            else bool(
+                rng.random()
+                < (0.5 if stealth else profile.post_download_prob)
+            )
+        )
+
+        target_hosts = (
+            int(rng.integers(2, 5))
+            if stealth
+            else bounded_int(
+                rng, profile.hosts.low, profile.hosts.high, profile.hosts.mean
+            )
+        )
+        # Redirect chain lengths are heavy-tailed: Table I pairs means
+        # of 1-2 with maxima of 18-30 (Goon), so most episodes hop once
+        # or twice while a small fraction runs elaborate TDS chains.
+        if redirectless:
+            n_redirects = 0
+        elif rng.random() < 0.07 and profile.redirects.high > 4:
+            n_redirects = int(rng.integers(
+                min(4, profile.redirects.high),
+                profile.redirects.high + 1,
+            ))
+        else:
+            n_redirects = bounded_int(
+                rng, max(profile.redirects.low, 1),
+                max(profile.redirects.high, 1),
+                max(profile.redirects.mean, 1.0),
+            )
+
+        enticement = draw_enticement(rng, self.forge)
+        transactions: list[HttpTransaction] = []
+
+        # 1. Pre-download: redirection chain through intermediary hosts.
+        exploit_host = self.forge.dga_domain()
+        chain_hosts = self._chain_hosts(enticement, n_redirects)
+        referrer = enticement.referrer_url
+        session_id = self.forge.token(12)
+        previous_url = referrer
+        for index, host in enumerate(chain_hosts):
+            is_last = index == len(chain_hosts) - 1
+            next_host = exploit_host if is_last else chain_hosts[index + 1]
+            next_url = f"http://{next_host}{self.forge.long_ek_uri()}"
+            uri = (
+                self.forge.cms_uri()
+                if enticement.kind is EnticementKind.COMPROMISED and index == 0
+                else self.forge.uri(depth=2, query=True, exploit_kit=index > 0)
+            )
+            req_ts = clock.tick(rng.uniform(0.05, 0.6))  # short redirect gaps
+            request = self._request(
+                HttpMethod.GET, host, uri, req_ts, victim, referrer=previous_url
+            )
+            # Mix of 30x Location redirects and obfuscated content redirects.
+            if rng.random() < 0.45:
+                response = self._response(
+                    302, clock.tick(rng.uniform(0.02, 0.2)), location=next_url
+                )
+            else:
+                style = random_style(rng)
+                body = (
+                    "<html><head></head><body>"
+                    + obfuscate_redirect(next_url, style, rng)
+                    + "</body></html>"
+                ).encode()
+                response = self._response(
+                    200, clock.tick(rng.uniform(0.02, 0.3)),
+                    content_type="text/html", body=body,
+                )
+            transactions.append(HttpTransaction(request, response))
+            previous_url = f"http://{host}{uri}"
+
+        # 2. Landing page on the exploit server (fingerprinting).
+        if stealth:
+            landing_uri = self.forge.uri(depth=2, extension="html")
+        else:
+            landing_uri = self.forge.long_ek_uri() + f"&sid={session_id}"
+        req_ts = clock.tick(rng.uniform(0.05, 0.5))
+        fingerprint = (
+            {"X-Flash-Version": "11,7,700,169"}
+            if not stealth and rng.random() < 0.3
+            else {}
+        )
+        landing_req = self._request(
+            HttpMethod.GET, exploit_host, landing_uri, req_ts, victim,
+            referrer=previous_url,
+            extra=fingerprint,
+        )
+        if stealth:
+            landing_body = b"<html><body><p>download page</p></body></html>"
+        else:
+            landing_body = (
+                "<html><body>" + obfuscate_redirect(
+                    f"http://{exploit_host}{self.forge.long_ek_uri()}",
+                    ObfuscationStyle.CONCAT, rng,
+                ) + "<script>var a=navigator.plugins.length;"
+                "</script></body></html>"
+            ).encode()
+        transactions.append(
+            HttpTransaction(
+                landing_req,
+                self._response(200, clock.tick(rng.uniform(0.05, 0.4)),
+                               content_type="text/html", body=landing_body),
+            )
+        )
+
+        # 3. Download stage: exploit payloads per the family mix.
+        exploit_ref = f"http://{exploit_host}{landing_uri}"
+        payload_exts = self._draw_payloads(config)
+        for ext in payload_exts:
+            actual_ext = ext
+            if ext == "crypt":
+                actual_ext = _RANSOM_EXTS[int(rng.integers(0, len(_RANSOM_EXTS)))]
+            # Some kits serve payloads from unremarkable short URIs.
+            if stealth or rng.random() < 0.5:
+                uri = self.forge.uri(depth=2, extension=actual_ext, query=True)
+            else:
+                uri = self.forge.long_ek_uri(extension=actual_ext)
+            req_ts = clock.tick(rng.uniform(0.1, 1.5))
+            request = self._request(
+                HttpMethod.GET, exploit_host, uri, req_ts, victim,
+                referrer=exploit_ref,
+            )
+            transactions.append(
+                HttpTransaction(
+                    request,
+                    self._payload_response(ext, clock.tick(rng.uniform(0.1, 2.0))),
+                )
+            )
+
+        # Landing-page furniture: a couple of images/CSS from the chain.
+        if not stealth:
+            furniture_host = chain_hosts[-1] if chain_hosts else exploit_host
+            for _ in range(int(rng.integers(2, 6))):
+                req_ts = clock.tick(rng.uniform(0.02, 0.3))
+                request = self._request(
+                    HttpMethod.GET, furniture_host,
+                    self.forge.uri(depth=2, extension="gif"),
+                    req_ts, victim, referrer=previous_url,
+                )
+                transactions.append(
+                    HttpTransaction(
+                        request,
+                        self._response(
+                            200, clock.tick(rng.uniform(0.01, 0.2)),
+                            content_type="image/gif",
+                            size=int(rng.integers(200, 20_000)),
+                        ),
+                    )
+                )
+
+        # Supporting JS fetches around the exploit (Table I's *.js column).
+        js_rate = self.profile.payload_rate.get("js", 1.0)
+        for _ in range(max(2, int(rng.poisson(min(js_rate + 2.0, 9.0))))):
+            host = exploit_host if rng.random() < 0.6 else (
+                chain_hosts[-1] if chain_hosts else exploit_host
+            )
+            req_ts = clock.tick(rng.uniform(0.02, 0.5))
+            request = self._request(
+                HttpMethod.GET, host, self.forge.uri(extension="js", query=True),
+                req_ts, victim, referrer=exploit_ref,
+            )
+            transactions.append(
+                HttpTransaction(request, self._payload_response("js",
+                                clock.tick(rng.uniform(0.02, 0.3)))))
+
+        # 4. Post-download: C&C call-backs to never-before-seen hosts
+        #    (Section II-D: hosts unseen prior to or during download).
+        if with_post:
+            n_cnc = int(rng.integers(1, 4))
+            for _ in range(n_cnc):
+                cnc = self.forge.dga_domain() if rng.random() < 0.6 else self.forge.ip()
+                for _ in range(int(rng.integers(2, 5))):
+                    req_ts = clock.tick(rng.uniform(0.5, 8.0))
+                    request = self._request(
+                        HttpMethod.POST, cnc,
+                        self.forge.uri(depth=1, extension="php", query=True),
+                        req_ts, victim,
+                    )
+                    request.headers.remove("Referer")
+                    roll = rng.random()
+                    if roll < 0.7:
+                        response = self._response(
+                            200, clock.tick(rng.uniform(0.1, 1.0)),
+                            content_type="text/plain",
+                            body=self.forge.token(24).encode(),
+                        )
+                    elif roll < 0.92:
+                        response = self._response(
+                            404, clock.tick(rng.uniform(0.1, 1.0)),
+                            content_type="text/html", body=b"<html>404</html>",
+                        )
+                    else:
+                        response = None  # C&C never answered
+                    transactions.append(HttpTransaction(request, response))
+
+        # 5. Filler hosts to hit the family's conversation width: ad
+        #    beacons, analytics, CDN fetches riding the same session.
+        current_hosts = {victim, exploit_host, *chain_hosts}
+        while len(current_hosts) < target_hosts:
+            filler = self.forge.domain()
+            current_hosts.add(filler)
+            req_ts = clock.tick(rng.uniform(0.05, 2.0))
+            ext = "js" if rng.random() < 0.5 else ""
+            request = self._request(
+                HttpMethod.GET, filler,
+                self.forge.uri(depth=1, extension=ext, query=True),
+                req_ts, victim, referrer=previous_url,
+            )
+            status = 200 if stealth or rng.random() < 0.8 else int(
+                rng.choice((404, 404, 403))
+            )
+            body_type = "application/javascript" if ext else "image/gif"
+            transactions.append(
+                HttpTransaction(
+                    request,
+                    self._response(status, clock.tick(rng.uniform(0.02, 0.4)),
+                                   content_type=body_type,
+                                   size=int(rng.integers(100, 20_000))),
+                )
+            )
+
+        # Machine-paced cap: infections run at exploit-kit speed, so the
+        # episode lifetime cannot stretch past ~6 s per transaction — this
+        # keeps Avg-Inter-Transact-Time *below* human browsing think time,
+        # the paper's top-ranked discriminator (Table IV), while episode
+        # lifetimes stay in the reported 0.5–4061 s band.  Stealth
+        # episodes deliberately pace like a human instead.
+        if stealth:
+            duration = float(
+                rng.uniform(15.0, 60.0) * max(1, len(transactions))
+            )
+            duration = min(duration, 4061.0)
+        else:
+            pace = float(rng.uniform(1.5, 5.0))
+            duration = min(duration, pace * max(1, len(transactions)))
+        clock.stretch_to(start, duration, transactions)
+        trace = Trace(
+            transactions=transactions,
+            label=TraceLabel.INFECTION,
+            family=self.profile.name,
+            origin=enticement.origin_host,
+            meta={
+                "enticement": enticement.kind.value,
+                "redirectless": redirectless,
+                "post_download": with_post,
+                "compressed_payload": config.compressed_payload,
+                "stealth": config.stealth,
+                "exploit_host": exploit_host,
+                "payload_exts": payload_exts,
+            },
+        )
+        return trace
+
+    def _chain_hosts(self, enticement: Enticement, n_redirects: int) -> list[str]:
+        """Intermediary hosts for the redirect chain, in hop order."""
+        hosts: list[str] = []
+        if enticement.kind is EnticementKind.COMPROMISED:
+            hosts.append(enticement.origin_host or self.forge.compromised_site())
+        elif n_redirects > 0:
+            hosts.append(self.forge.compromised_site())
+        for _ in range(max(0, n_redirects - 1)):
+            hosts.append(self.forge.domain())
+        return hosts
+
+    def _draw_payloads(self, config: EpisodeConfig) -> list[str]:
+        """Payload extensions dropped this episode, per family rates."""
+        if config.compressed_payload or config.stealth:
+            # FN hard case: compressed delivery hides the exploit type.
+            return ["zip"]
+        rng = self.rng
+        exts: list[str] = []
+        for ext, rate in self.profile.payload_rate.items():
+            if ext == "js":
+                continue  # handled as supporting fetches
+            count = int(rng.poisson(min(rate, 4.0)))
+            exts.extend([ext] * count)
+        if not exts:
+            sig = self.profile.signature_payloads
+            exts.append(sig[int(rng.integers(0, len(sig)))])
+        rng.shuffle(exts)
+        return exts[:8]
+
+
+class _Clock:
+    """Monotonic episode clock with post-hoc duration normalization."""
+
+    def __init__(self, start: float, rng: np.random.Generator):
+        self.now = start
+        self.rng = rng
+
+    def tick(self, delta: float) -> float:
+        """Advance by ``delta`` seconds and return the new time."""
+        self.now += max(1e-3, float(delta))
+        return self.now
+
+    @staticmethod
+    def stretch_to(
+        start: float, duration: float, transactions: list[HttpTransaction]
+    ) -> None:
+        """Rescale all timestamps so the episode spans ``duration``.
+
+        Keeps relative ordering and pacing; the paper's lifetimes span
+        0.5–4061 s so raw tick accumulation is rescaled to the sampled
+        episode duration.
+        """
+        if not transactions:
+            return
+        stamps = [t.request.timestamp for t in transactions]
+        lo, hi = min(stamps), max(stamps)
+        span = hi - lo
+        if span <= 0:
+            return
+        scale = duration / span
+        for txn in transactions:
+            txn.request.timestamp = start + (txn.request.timestamp - lo) * scale
+            if txn.response is not None:
+                txn.response.timestamp = start + (
+                    txn.response.timestamp - lo
+                ) * scale
+                if txn.response.timestamp < txn.request.timestamp:
+                    txn.response.timestamp = txn.request.timestamp + 1e-3

@@ -1,0 +1,123 @@
+"""Redirect obfuscators: hide a target URL the way exploit kits do.
+
+Each style produces HTML/JavaScript whose redirect target is only
+recoverable after the deobfuscation pass in
+:mod:`repro.core.redirects` — giving us ground truth to validate the
+paper's "reverse engineer obfuscated JavaScript and HTML" heuristics
+(Section III-D).
+"""
+
+from __future__ import annotations
+
+import base64
+import enum
+
+import numpy as np
+
+__all__ = ["ObfuscationStyle", "obfuscate_redirect", "random_style"]
+
+
+class ObfuscationStyle(enum.Enum):
+    """Concealment technique applied to a redirect target."""
+
+    PLAIN = "plain"
+    CONCAT = "concat"
+    FROMCHARCODE = "fromcharcode"
+    UNESCAPE = "unescape"
+    ATOB = "atob"
+    ARRAY_JOIN = "array_join"
+    REVERSE = "reverse"
+    META_REFRESH = "meta_refresh"
+    IFRAME = "iframe"
+
+
+def _split_chunks(text: str, rng: np.random.Generator, n_min: int = 3,
+                  n_max: int = 6) -> list[str]:
+    """Split ``text`` into 3-6 random-length chunks."""
+    pieces = int(rng.integers(n_min, n_max + 1))
+    if pieces >= len(text):
+        return [text]
+    cuts = sorted(
+        int(c) for c in rng.choice(range(1, len(text)), size=pieces - 1,
+                                   replace=False)
+    )
+    chunks = []
+    prev = 0
+    for cut in cuts:
+        chunks.append(text[prev:cut])
+        prev = cut
+    chunks.append(text[prev:])
+    return chunks
+
+
+def obfuscate_redirect(
+    url: str,
+    style: ObfuscationStyle,
+    rng: np.random.Generator,
+) -> str:
+    """Return an HTML/JS snippet that redirects to ``url`` via ``style``."""
+    if style is ObfuscationStyle.PLAIN:
+        return f'<script>window.location.href = "{url}";</script>'
+    if style is ObfuscationStyle.CONCAT:
+        chunks = _split_chunks(url, rng)
+        joined = " + ".join(f'"{chunk}"' for chunk in chunks)
+        return f"<script>var u = {joined}; window.location = u;</script>"
+    if style is ObfuscationStyle.FROMCHARCODE:
+        codes = ",".join(str(ord(ch)) for ch in url)
+        return (
+            "<script>document.location.replace("
+            f"String.fromCharCode({codes}));</script>"
+        )
+    if style is ObfuscationStyle.UNESCAPE:
+        escaped = "".join(f"%{ord(ch):02x}" for ch in url)
+        return (
+            f'<script>top.location = unescape("{escaped}");</script>'
+        )
+    if style is ObfuscationStyle.ATOB:
+        blob = base64.b64encode(url.encode("ascii")).decode("ascii")
+        return f'<script>window.location.assign(atob("{blob}"));</script>'
+    if style is ObfuscationStyle.ARRAY_JOIN:
+        chunks = _split_chunks(url, rng)
+        array = ", ".join(f'"{chunk}"' for chunk in chunks)
+        return (
+            f'<script>self.location = [{array}].join("");</script>'
+        )
+    if style is ObfuscationStyle.REVERSE:
+        reversed_url = url[::-1]
+        return (
+            f'<script>window.location.href = '
+            f'"{reversed_url}".split("").reverse().join("");</script>'
+        )
+    if style is ObfuscationStyle.META_REFRESH:
+        return (
+            '<meta http-equiv="refresh" '
+            f'content="0; url={url}">'
+        )
+    if style is ObfuscationStyle.IFRAME:
+        width = int(rng.integers(0, 3))
+        return (
+            f'<iframe width="{width}" height="{width}" '
+            f'style="visibility:hidden" src="{url}"></iframe>'
+        )
+    raise ValueError(f"unknown obfuscation style: {style}")
+
+
+def random_style(rng: np.random.Generator,
+                 include_markup: bool = True) -> ObfuscationStyle:
+    """Pick a style; exploit kits overwhelmingly favour iframes and
+    heavily obfuscated JS, so weights are biased accordingly."""
+    styles = [
+        (ObfuscationStyle.IFRAME, 0.25 if include_markup else 0.0),
+        (ObfuscationStyle.META_REFRESH, 0.10 if include_markup else 0.0),
+        (ObfuscationStyle.PLAIN, 0.05),
+        (ObfuscationStyle.CONCAT, 0.15),
+        (ObfuscationStyle.FROMCHARCODE, 0.12),
+        (ObfuscationStyle.UNESCAPE, 0.10),
+        (ObfuscationStyle.ATOB, 0.10),
+        (ObfuscationStyle.ARRAY_JOIN, 0.08),
+        (ObfuscationStyle.REVERSE, 0.05),
+    ]
+    names = [s for s, _ in styles]
+    weights = np.array([w for _, w in styles])
+    weights = weights / weights.sum()
+    return names[int(rng.choice(len(names), p=weights))]

@@ -1,0 +1,14 @@
+"""Simulated VirusTotal: 56 lag-modelled AV engines (DESIGN.md §2)."""
+
+from repro.vtsim.engines import DAY, AvEngine, PayloadSample, build_engine_fleet
+from repro.vtsim.virustotal import ScanResult, VirusTotalSim, samples_from_trace
+
+__all__ = [
+    "AvEngine",
+    "DAY",
+    "PayloadSample",
+    "ScanResult",
+    "VirusTotalSim",
+    "build_engine_fleet",
+    "samples_from_trace",
+]

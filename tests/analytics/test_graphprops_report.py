@@ -1,0 +1,80 @@
+"""Unit tests for graph-property analytics and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.graphprops import (
+    FIG3_PROPERTIES,
+    average_graph_properties,
+    class_feature_matrix,
+    feature_distribution,
+)
+from repro.analytics.report import format_distribution, format_table
+
+
+class TestAverageGraphProperties:
+    def test_shape(self, tiny_corpus):
+        data = average_graph_properties(tiny_corpus.traces)
+        assert set(data) == set(FIG3_PROPERTIES)
+        for values in data.values():
+            assert set(values) == {"infection", "benign"}
+
+    def test_fig3_contrasts(self, tiny_corpus):
+        # Paper (Section II-C): infections have higher order/diameter;
+        # lower degree-/closeness-/betweenness-centrality; higher load
+        # centrality and degree-connectivity.
+        data = average_graph_properties(tiny_corpus.traces)
+        assert data["order"]["infection"] > data["order"]["benign"]
+        assert data["diameter"]["infection"] > data["diameter"]["benign"]
+        assert data["avg_closeness_centrality"]["infection"] < \
+            data["avg_closeness_centrality"]["benign"]
+        assert data["avg_load_centrality"]["infection"] > \
+            data["avg_load_centrality"]["benign"]
+        assert data["avg_degree_connectivity"]["infection"] > \
+            data["avg_degree_connectivity"]["benign"]
+
+
+class TestFeatureDistribution:
+    def test_histogram_shape(self, tiny_corpus):
+        hist = feature_distribution(tiny_corpus.traces,
+                                    "avg_closeness_centrality", bins=10)
+        inf_counts, edges = hist["infection"]
+        ben_counts, _ = hist["benign"]
+        assert len(inf_counts) == 10
+        assert len(edges) == 11
+        assert inf_counts.sum() == len(tiny_corpus.infections)
+        assert ben_counts.sum() == len(tiny_corpus.benign)
+
+    def test_classes_separate_on_closeness(self, tiny_corpus):
+        # Figure 9's visual: infection mass sits at lower closeness.
+        X, y, names = class_feature_matrix(tiny_corpus.traces)
+        column = X[:, names.index("avg_closeness_centrality")]
+        assert column[y == 1].mean() < column[y == 0].mean()
+
+
+class TestReportRendering:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["Name", "Value"],
+            [["alpha", 1.5], ["b", 22]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1] and "Value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_format_table_float_rendering(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_format_distribution_bars(self):
+        text = format_distribution(["a", "b"], [1.0, 0.5], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_format_distribution_zero_values(self):
+        text = format_distribution(["a"], [0.0])
+        assert "a" in text

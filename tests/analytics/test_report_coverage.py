@@ -1,0 +1,46 @@
+"""Smoke coverage for every experiment report at a tiny scale.
+
+Each ``report()`` must render without raising and contain its artifact's
+identifying header — catching formatting regressions across the whole
+experiment registry in one sweep.
+"""
+
+import pytest
+
+from repro.cli import EXPERIMENTS
+
+SEED = 7
+SCALE = 0.08
+
+#: Experiment id -> substring its report must contain.
+_EXPECTED_HEADER = {
+    "table1": "Table I",
+    "fig1": "Fig. 1",
+    "fig2": "Fig. 2",
+    "fig3": "Fig. 3",
+    "fig4": "Fig. 4",
+    "table3": "Table III",
+    "table4": "Table IV",
+    "fig10": "Fig. 10",
+    "table5": "Table V",
+    "cs1": "Case Study 1",
+    "table6": "Table VI",
+    "evasion": "Section VII",
+    "baselines": "Section VIII",
+    "families": "leave-one-family-out",
+    "ablation-voting": "Ablation",
+    "ablation-forest": "Ablation",
+}
+
+_FAST = ("table1", "fig1", "fig2", "fig3", "fig4")
+
+
+@pytest.mark.parametrize("experiment", sorted(_FAST))
+def test_fast_reports_render(experiment):
+    text = EXPERIMENTS[experiment](SEED, SCALE)
+    assert _EXPECTED_HEADER[experiment] in text
+    assert len(text.splitlines()) >= 3
+
+
+def test_registry_headers_complete():
+    assert set(_EXPECTED_HEADER) == set(EXPERIMENTS)

@@ -1,0 +1,84 @@
+"""Unit tests for the Section II study computations."""
+
+import pytest
+
+from repro.analytics.study import (
+    callback_prevalence,
+    global_properties,
+    table1_rows,
+)
+
+
+class TestTable1Rows:
+    def test_benign_row_first(self, tiny_corpus):
+        rows = table1_rows(tiny_corpus)
+        assert rows[0].family == "Benign"
+
+    def test_all_families_present(self, tiny_corpus):
+        rows = table1_rows(tiny_corpus)
+        families = {row.family for row in rows}
+        assert "Angler" in families
+        assert "Goon" in families
+        assert len(rows) == 11  # benign + 10 families
+
+    def test_trace_counts_sum(self, tiny_corpus):
+        rows = table1_rows(tiny_corpus)
+        assert sum(row.n_traces for row in rows) == len(tiny_corpus)
+
+    def test_host_min_at_least_two(self, tiny_corpus):
+        for row in table1_rows(tiny_corpus):
+            assert row.hosts_min >= 2
+
+    def test_host_bounds_consistent(self, tiny_corpus):
+        for row in table1_rows(tiny_corpus):
+            assert row.hosts_min <= row.hosts_avg <= row.hosts_max
+            assert row.redirects_min <= row.redirects_avg <= \
+                row.redirects_max
+
+    def test_benign_has_fewer_redirects_than_infections(self, tiny_corpus):
+        rows = table1_rows(tiny_corpus)
+        benign = rows[0]
+        infection_avg = sum(
+            r.redirects_avg * r.n_traces for r in rows[1:]
+        ) / sum(r.n_traces for r in rows[1:])
+        assert benign.redirects_avg < infection_avg
+
+    def test_crypt_only_in_infection_rows(self, tiny_corpus):
+        rows = table1_rows(tiny_corpus)
+        assert rows[0].payload_counts.get("crypt", 0) == 0
+
+    def test_as_list_shape(self, tiny_corpus):
+        row = table1_rows(tiny_corpus)[0]
+        cells = row.as_list()
+        assert len(cells) == 14  # family + 7 stats + 6 payload columns
+        assert cells[0] == "Benign"
+
+
+class TestGlobalProperties:
+    def test_ranges(self, tiny_corpus):
+        props = global_properties(tiny_corpus.infections)
+        assert props.nodes_min >= 2
+        assert props.nodes_min <= props.nodes_avg <= props.nodes_max
+        assert props.edges_min <= props.edges_avg <= props.edges_max
+        assert props.lifetime_min <= props.lifetime_avg <= \
+            props.lifetime_max
+
+    def test_lifetime_in_paper_band(self, tiny_corpus):
+        # Section III-D: 0.5 to 4061 seconds.
+        props = global_properties(tiny_corpus.infections)
+        assert props.lifetime_min >= 0.4
+        assert props.lifetime_max <= 4061.0
+
+
+class TestCallbackPrevalence:
+    def test_infections_mostly_call_back(self, tiny_corpus):
+        rate = callback_prevalence(tiny_corpus.infections)
+        # Paper: 708/770 = 91.9%
+        assert 0.75 <= rate <= 1.0
+
+    def test_benign_rarely_post_download(self, tiny_corpus):
+        rate = callback_prevalence(tiny_corpus.benign)
+        assert rate < 0.35
+
+    def test_empty(self):
+        assert callback_prevalence([]) == 0.0

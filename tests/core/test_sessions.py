@@ -1,0 +1,104 @@
+"""Unit tests for session-ID extraction and session grouping."""
+
+from repro.core.sessions import extract_session_id, group_sessions
+from tests.conftest import make_txn
+
+
+class TestExtractSessionId:
+    def test_query_param(self):
+        txn = make_txn(uri="/page?sid=abc123&x=1")
+        assert extract_session_id(txn) == "abc123"
+
+    def test_phpsessid_param(self):
+        txn = make_txn(uri="/p?PHPSESSID=deadbeef")
+        assert extract_session_id(txn) == "deadbeef"
+
+    def test_jsessionid_path(self):
+        txn = make_txn(uri="/app/page;jsessionid=XYZ789?x=1")
+        assert extract_session_id(txn) == "XYZ789"
+
+    def test_cookie_header(self):
+        txn = make_txn(extra_req_headers={"Cookie": "theme=dark; sid=c00kie"})
+        assert extract_session_id(txn) == "c00kie"
+
+    def test_set_cookie_response(self):
+        txn = make_txn(extra_res_headers={"Set-Cookie":
+                                          "JSESSIONID=server-side; Path=/"})
+        assert extract_session_id(txn) == "server-side"
+
+    def test_no_session(self):
+        assert extract_session_id(make_txn(uri="/plain")) == ""
+
+    def test_query_precedence_over_cookie(self):
+        txn = make_txn(uri="/p?session_id=fromquery",
+                       extra_req_headers={"Cookie": "sid=fromcookie"})
+        assert extract_session_id(txn) == "fromquery"
+
+
+class TestGroupSessions:
+    def test_same_session_id_groups(self):
+        txns = [
+            make_txn(host="a.com", uri="/1?sid=S", ts=1.0),
+            make_txn(host="b.com", uri="/2?sid=S", ts=200.0),  # past idle gap
+        ]
+        clusters = group_sessions(txns, idle_gap=60.0)
+        assert len(clusters) == 1
+
+    def test_referrer_within_gap_groups(self):
+        txns = [
+            make_txn(host="a.com", ts=1.0),
+            make_txn(host="b.com", ts=10.0, referrer="http://a.com/"),
+        ]
+        assert len(group_sessions(txns)) == 1
+
+    def test_idle_gap_splits(self):
+        txns = [
+            make_txn(host="a.com", ts=1.0),
+            make_txn(host="a.com", ts=500.0),
+        ]
+        assert len(group_sessions(txns, idle_gap=60.0)) == 2
+
+    def test_different_clients_never_group(self):
+        txns = [
+            make_txn(host="a.com", ts=1.0, client="alice"),
+            make_txn(host="a.com", ts=2.0, client="bob"),
+        ]
+        clusters = group_sessions(txns)
+        assert len(clusters) == 2
+        assert {c.client for c in clusters} == {"alice", "bob"}
+
+    def test_same_host_within_gap_groups(self):
+        txns = [
+            make_txn(host="a.com", uri="/1", ts=1.0),
+            make_txn(host="a.com", uri="/2", ts=5.0),
+        ]
+        assert len(group_sessions(txns)) == 1
+
+    def test_unrelated_host_opens_new_cluster(self):
+        txns = [
+            make_txn(host="a.com", ts=1.0),
+            make_txn(host="z.org", ts=2.0),  # no referrer, new host
+        ]
+        assert len(group_sessions(txns)) == 2
+
+    def test_clusters_ordered_by_first_timestamp(self):
+        txns = [
+            make_txn(host="late.com", ts=100.0),
+            make_txn(host="early.com", ts=1.0),
+        ]
+        clusters = group_sessions(txns)
+        assert clusters[0].transactions[0].server == "early.com"
+
+    def test_cluster_collects_session_ids_and_hosts(self):
+        txns = [
+            make_txn(host="a.com", uri="/1?sid=S1", ts=1.0),
+            make_txn(host="b.com", uri="/2?sid=S2", ts=2.0,
+                     referrer="http://a.com/1"),
+        ]
+        clusters = group_sessions(txns)
+        assert len(clusters) == 1
+        assert clusters[0].session_ids == {"S1", "S2"}
+        assert {"a.com", "b.com"} <= clusters[0].hosts
+
+    def test_empty_input(self):
+        assert group_sessions([]) == []

@@ -1,0 +1,110 @@
+"""Unit tests for conversation-stage assignment (Section III-C rules)."""
+
+from repro.core.model import HttpMethod, Trace
+from repro.core.stages import Stage, assign_stages
+from tests.conftest import make_txn
+
+
+def _infection_like_transactions():
+    """Redirect run-up -> exploit download -> C&C POSTs."""
+    return [
+        make_txn(host="compromised.com", uri="/page", ts=1.0, status=302,
+                 content_type="",
+                 extra_res_headers={"Location": "http://landing.net/l"}),
+        make_txn(host="landing.net", uri="/l", ts=2.0, status=302,
+                 content_type="",
+                 extra_res_headers={"Location": "http://exploit.pw/g"}),
+        make_txn(host="exploit.pw", uri="/g", ts=3.0,
+                 content_type="text/html"),
+        make_txn(host="exploit.pw", uri="/drop.exe", ts=4.0,
+                 content_type="application/x-msdownload", size=150_000),
+        make_txn(host="cnc.top", uri="/beacon.php", ts=5.0,
+                 method=HttpMethod.POST, content_type="text/plain"),
+        make_txn(host="cnc2.top", uri="/report.php", ts=6.0,
+                 method=HttpMethod.POST, status=404),
+    ]
+
+
+class TestAssignStages:
+    def test_empty(self):
+        assert assign_stages([]) == []
+
+    def test_full_infection_shape(self):
+        txns = _infection_like_transactions()
+        stages = assign_stages(txns)
+        assert stages[0] is Stage.PRE_DOWNLOAD  # 302 before download
+        assert stages[1] is Stage.PRE_DOWNLOAD
+        assert stages[3] is Stage.DOWNLOAD      # the exe
+        assert stages[4] is Stage.POST_DOWNLOAD  # POST 200 to fresh host
+        assert stages[5] is Stage.POST_DOWNLOAD  # POST 40x to fresh host
+
+    def test_landing_page_between_redirects_is_pre_download(self):
+        txns = _infection_like_transactions()
+        # txn[2] (landing 200) arrives before the last 30x? No — after.
+        # Insert a 200 page BETWEEN the two 30x hops: it is run-up.
+        txns.insert(1, make_txn(host="tds.biz", uri="/check", ts=1.5))
+        stages = assign_stages(txns)
+        assert stages[1] is Stage.PRE_DOWNLOAD
+
+    def test_post_to_exploit_host_is_not_post_download(self):
+        # POST to a host that served an exploit payload stays DOWNLOAD.
+        txns = [
+            make_txn(host="exploit.pw", uri="/drop.exe", ts=1.0,
+                     content_type="application/x-msdownload"),
+            make_txn(host="exploit.pw", uri="/confirm", ts=2.0,
+                     method=HttpMethod.POST),
+        ]
+        stages = assign_stages(txns)
+        assert stages[1] is Stage.DOWNLOAD
+
+    def test_post_before_download_complete_not_post_download(self):
+        txns = [
+            make_txn(host="a.com", uri="/x", ts=1.0, method=HttpMethod.POST),
+            make_txn(host="exploit.pw", uri="/drop.exe", ts=2.0,
+                     content_type="application/x-msdownload"),
+        ]
+        stages = assign_stages(txns)
+        assert stages[0] is Stage.DOWNLOAD
+
+    def test_all_benign_gets_are_download_stage(self):
+        txns = [
+            make_txn(host="a.com", ts=1.0),
+            make_txn(host="a.com", uri="/s.css", ts=2.0,
+                     content_type="text/css"),
+        ]
+        stages = assign_stages(txns)
+        assert all(s is Stage.DOWNLOAD for s in stages)
+
+    def test_redirects_after_exploit_not_pre_download(self):
+        txns = [
+            make_txn(host="exploit.pw", uri="/drop.exe", ts=1.0,
+                     content_type="application/x-msdownload"),
+            make_txn(host="ads.com", uri="/click", ts=2.0, status=302,
+                     content_type="",
+                     extra_res_headers={"Location": "http://shop.com/"}),
+        ]
+        stages = assign_stages(txns)
+        assert stages[1] is Stage.DOWNLOAD
+
+    def test_unanswered_post_can_be_post_download(self):
+        txns = _infection_like_transactions()
+        dead = make_txn(host="dead-cnc.ru", uri="/gate.php", ts=7.0,
+                        method=HttpMethod.POST)
+        dead.response = None
+        txns.append(dead)
+        stages = assign_stages(txns)
+        assert stages[-1] is Stage.POST_DOWNLOAD
+
+    def test_stage_values_match_paper_encoding(self):
+        assert Stage.PRE_DOWNLOAD == 0
+        assert Stage.DOWNLOAD == 1
+        assert Stage.POST_DOWNLOAD == 2
+
+    def test_input_order_preserved_when_unsorted(self):
+        txns = _infection_like_transactions()
+        shuffled = [txns[3], txns[0], txns[4], txns[1], txns[2], txns[5]]
+        stages = assign_stages(shuffled)
+        # stage of the exe (now index 0) must still be DOWNLOAD
+        assert stages[0] is Stage.DOWNLOAD
+        # stage of the first 302 (now index 1) must still be PRE_DOWNLOAD
+        assert stages[1] is Stage.PRE_DOWNLOAD

@@ -1,0 +1,111 @@
+"""Behavioural tests for detector policies: cooldown, thresholds, scoring."""
+
+import pytest
+
+from repro.detection.alerts import ListSink
+from repro.detection.clues import CluePolicy
+from repro.detection.detector import DetectorConfig, OnTheWireDetector
+from tests.conftest import make_txn
+
+
+def _infection_burst(host_prefix: str, base_ts: float, client="victim"):
+    """A minimal alert-worthy burst: redirects + exploit drop + callback."""
+    from repro.core.model import HttpMethod
+
+    return [
+        make_txn(host=f"{host_prefix}-hop.com", ts=base_ts, status=302,
+                 content_type="", client=client,
+                 extra_res_headers={"Location":
+                                    f"http://{host_prefix}-ek.pw/g"}),
+        make_txn(host=f"{host_prefix}-ek.pw", uri="/g", ts=base_ts + 1,
+                 client=client,
+                 referrer=f"http://{host_prefix}-hop.com/"),
+        make_txn(host=f"{host_prefix}-ek.pw", uri="/drop.exe",
+                 ts=base_ts + 2, client=client,
+                 content_type="application/x-msdownload",
+                 referrer=f"http://{host_prefix}-ek.pw/g"),
+        make_txn(host=f"{host_prefix}-cnc.xyz", uri="/p.php",
+                 ts=base_ts + 3, client=client,
+                 method=HttpMethod.POST, content_type="text/plain"),
+    ]
+
+
+class TestAlertCooldown:
+    def test_same_incident_suppressed(self, trained_model):
+        detector = OnTheWireDetector(
+            trained_model,
+            config=DetectorConfig(alert_cooldown=300.0, alert_threshold=0.2),
+        )
+        stream = _infection_burst("one", 10.0)
+        # A second, unrelated burst 60 s later (same client).
+        stream += _infection_burst("two", 70.0)
+        alerts = detector.process_stream(
+            sorted(stream, key=lambda t: t.timestamp)
+        )
+        detector.finalize()
+        assert len(detector.alerts) == 1  # second burst inside cooldown
+
+    def test_separated_incidents_both_alert(self, trained_model):
+        detector = OnTheWireDetector(
+            trained_model,
+            config=DetectorConfig(alert_cooldown=60.0, alert_threshold=0.2),
+        )
+        stream = _infection_burst("one", 10.0)
+        stream += _infection_burst("two", 500.0)
+        alerts = detector.process_stream(
+            sorted(stream, key=lambda t: t.timestamp)
+        )
+        detector.finalize()
+        assert len(detector.alerts) == 2
+
+    def test_cooldown_is_per_client(self, trained_model):
+        detector = OnTheWireDetector(
+            trained_model,
+            config=DetectorConfig(alert_cooldown=600.0, alert_threshold=0.2),
+        )
+        stream = _infection_burst("one", 10.0, client="alice")
+        stream += _infection_burst("two", 20.0, client="bob")
+        detector.process_stream(sorted(stream, key=lambda t: t.timestamp))
+        detector.finalize()
+        clients = {a.client for a in detector.alerts}
+        assert clients == {"alice", "bob"}
+
+
+class TestThreshold:
+    def test_impossible_threshold_silences(self, trained_model):
+        detector = OnTheWireDetector(
+            trained_model,
+            config=DetectorConfig(alert_threshold=1.01),
+        )
+        detector.process_stream(_infection_burst("x", 1.0))
+        detector.finalize()
+        assert detector.alerts == []
+
+    def test_zero_threshold_alerts_on_first_clue(self, trained_model):
+        detector = OnTheWireDetector(
+            trained_model,
+            config=DetectorConfig(alert_threshold=0.0),
+        )
+        alerts = detector.process_stream(_infection_burst("x", 1.0))
+        assert alerts  # first scored WCG trips a zero threshold
+
+
+class TestScoringEconomy:
+    def test_classifications_bounded_by_updates(self, trained_model,
+                                                small_corpus):
+        detector = OnTheWireDetector(trained_model)
+        trace = small_corpus.infections[0]
+        detector.process_stream(trace.transactions)
+        detector.finalize()
+        assert detector.classifications <= len(trace.transactions) + \
+            detector.watch_count()
+
+    def test_custom_sink_receives_alerts(self, trained_model):
+        sink = ListSink()
+        detector = OnTheWireDetector(
+            trained_model, sink=sink,
+            config=DetectorConfig(alert_threshold=0.2),
+        )
+        detector.process_stream(_infection_burst("y", 1.0))
+        detector.finalize()
+        assert len(sink) >= 1

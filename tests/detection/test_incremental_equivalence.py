@@ -1,0 +1,55 @@
+"""Equivalence: incremental redirect inference == batch inference.
+
+The clue detector's incremental :class:`RedirectInferencer` must produce
+exactly what the batch :func:`infer_redirects` produces on the same
+stream — otherwise streaming detection and offline analytics would
+disagree about the same traffic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.redirects import RedirectInferencer, infer_redirects
+from repro.synthesis.benign import BenignGenerator
+from repro.synthesis.families import EXPLOIT_KIT_FAMILIES
+from repro.synthesis.infection import InfectionGenerator
+
+
+def _equivalent(transactions):
+    batch = infer_redirects(transactions)
+    inferencer = RedirectInferencer()
+    incremental = []
+    for txn in transactions:
+        incremental.extend(inferencer.observe(txn))
+    assert [(r.source, r.target, r.kind) for r in batch] == [
+        (r.source, r.target, r.kind) for r in incremental
+    ]
+    assert inferencer.redirects == incremental
+
+
+class TestIncrementalEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6),
+           family_index=st.integers(0, len(EXPLOIT_KIT_FAMILIES) - 1))
+    def test_infection_streams(self, seed, family_index):
+        rng = np.random.default_rng(seed)
+        trace = InfectionGenerator(
+            EXPLOIT_KIT_FAMILIES[family_index], rng
+        ).generate()
+        _equivalent(trace.transactions)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_benign_streams(self, seed):
+        rng = np.random.default_rng(seed)
+        trace = BenignGenerator(rng).generate_session()
+        _equivalent(trace.transactions)
+
+    def test_interleaved_multihost_stream(self, small_corpus):
+        transactions = []
+        for trace in small_corpus.traces[:6]:
+            transactions.extend(trace.transactions)
+        transactions.sort(key=lambda t: t.timestamp)
+        _equivalent(transactions)

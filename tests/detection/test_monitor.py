@@ -1,0 +1,113 @@
+"""Unit tests for session watching and the session table."""
+
+from repro.core.model import HttpMethod
+from repro.detection.clues import CluePolicy
+from repro.detection.monitor import SessionTable, SessionWatch
+from tests.conftest import make_txn
+
+
+class TestSessionWatch:
+    def test_add_tracks_state(self):
+        watch = SessionWatch(key="k", client="victim", policy=CluePolicy())
+        watch.add(make_txn(host="a.com", uri="/x?sid=S1", ts=1.0))
+        assert watch.session_ids == {"S1"}
+        assert "a.com" in watch.hosts
+        assert watch.last_ts == 1.0
+
+    def test_clue_recorded_once(self):
+        watch = SessionWatch(key="k", client="victim", policy=CluePolicy())
+        first = watch.add(make_txn(host="ek.pw", uri="/a.exe", ts=1.0,
+                                   content_type="application/x-msdownload"))
+        assert first is not None
+        watch.add(make_txn(host="ek.pw", uri="/b.exe", ts=2.0,
+                           content_type="application/x-msdownload"))
+        assert watch.active_clue is first
+
+    def test_wcg_grows_incrementally(self):
+        watch = SessionWatch(key="k", client="victim", policy=CluePolicy())
+        watch.add(make_txn(host="a.com", ts=1.0))
+        order_before = watch.wcg().order
+        watch.add(make_txn(host="b.com", ts=2.0))
+        assert watch.wcg().order == order_before + 1
+
+    def test_matches_by_session_id(self):
+        watch = SessionWatch(key="k", client="victim", policy=CluePolicy())
+        watch.add(make_txn(host="a.com", uri="/x?sid=SAME", ts=1.0))
+        later = make_txn(host="z.org", uri="/y?sid=SAME", ts=500.0)
+        assert watch.matches(later, "SAME", idle_gap=60.0)
+
+    def test_matches_by_referrer_within_gap(self):
+        watch = SessionWatch(key="k", client="victim", policy=CluePolicy())
+        watch.add(make_txn(host="a.com", ts=1.0))
+        linked = make_txn(host="b.com", ts=10.0, referrer="http://a.com/")
+        assert watch.matches(linked, "", idle_gap=60.0)
+
+    def test_no_match_past_idle_gap(self):
+        watch = SessionWatch(key="k", client="victim", policy=CluePolicy())
+        watch.add(make_txn(host="a.com", ts=1.0))
+        later = make_txn(host="a.com", ts=1000.0)
+        assert not watch.matches(later, "", idle_gap=60.0)
+
+    def test_no_match_other_client(self):
+        watch = SessionWatch(key="k", client="victim", policy=CluePolicy())
+        watch.add(make_txn(host="a.com", ts=1.0))
+        other = make_txn(host="a.com", ts=2.0, client="other")
+        assert not watch.matches(other, "", idle_gap=60.0)
+
+    def test_referrerless_post_matches(self):
+        # The C&C call-back grouping rule (Section V-B timestamps).
+        watch = SessionWatch(key="k", client="victim", policy=CluePolicy())
+        watch.add(make_txn(host="a.com", ts=1.0))
+        callback = make_txn(host="fresh-cnc.xyz", ts=5.0,
+                            method=HttpMethod.POST)
+        assert watch.matches(callback, "", idle_gap=60.0)
+
+    def test_referrerless_get_to_new_host_does_not_match(self):
+        watch = SessionWatch(key="k", client="victim", policy=CluePolicy())
+        watch.add(make_txn(host="a.com", ts=1.0))
+        unrelated = make_txn(host="fresh.org", ts=5.0)
+        assert not watch.matches(unrelated, "", idle_gap=60.0)
+
+
+class TestSessionTable:
+    def test_routes_to_same_watch(self):
+        table = SessionTable()
+        w1 = table.route(make_txn(host="a.com", ts=1.0))
+        w2 = table.route(make_txn(host="b.com", ts=2.0,
+                                  referrer="http://a.com/"))
+        assert w1 is w2
+
+    def test_new_watch_for_unrelated(self):
+        table = SessionTable()
+        w1 = table.route(make_txn(host="a.com", ts=1.0))
+        w2 = table.route(make_txn(host="z.org", ts=2.0))
+        assert w1 is not w2
+        assert len(table.watches()) == 2
+
+    def test_per_client_isolation(self):
+        table = SessionTable()
+        w1 = table.route(make_txn(host="a.com", ts=1.0, client="alice"))
+        w2 = table.route(make_txn(host="a.com", ts=2.0, client="bob"))
+        assert w1 is not w2
+
+    def test_terminated_watch_not_reused(self):
+        table = SessionTable()
+        w1 = table.route(make_txn(host="a.com", ts=1.0))
+        w1.terminated = True
+        w2 = table.route(make_txn(host="a.com", ts=2.0))
+        assert w2 is not w1
+
+    def test_expire(self):
+        table = SessionTable(idle_gap=60.0)
+        table.route(make_txn(host="a.com", ts=1.0))
+        table.route(make_txn(host="z.org", ts=100.0))
+        expired = table.expire(now=130.0)
+        assert len(expired) == 1
+        assert expired[0].hosts == {"a.com"}
+
+    def test_watch_keys_unique(self):
+        table = SessionTable()
+        table.route(make_txn(host="a.com", ts=1.0))
+        table.route(make_txn(host="z.org", ts=2.0))
+        keys = [w.key for w in table.watches()]
+        assert len(set(keys)) == len(keys)

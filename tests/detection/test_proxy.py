@@ -1,0 +1,64 @@
+"""Tests for the replay drivers."""
+
+import pytest
+
+from repro.core.model import Trace
+from repro.detection.clues import CluePolicy
+from repro.detection.detector import OnTheWireDetector
+from repro.detection.proxy import ProxySimulator, ReplayReport, TrafficReplay
+from tests.conftest import make_txn
+
+
+class TestTrafficReplay:
+    def test_replays_whole_trace(self, trained_model, small_corpus):
+        detector = OnTheWireDetector(trained_model)
+        trace = small_corpus.benign[0]
+        report = TrafficReplay(detector).run(trace)
+        assert report.transactions == len(trace.transactions)
+
+    def test_accepts_transaction_list(self, trained_model):
+        detector = OnTheWireDetector(trained_model)
+        report = TrafficReplay(detector).run([make_txn()])
+        assert report.transactions == 1
+
+    def test_alerts_on_infection(self, trained_model, small_corpus):
+        detector = OnTheWireDetector(trained_model,
+                                     policy=CluePolicy(redirect_threshold=3))
+        infections = [
+            t for t in small_corpus.infections if not t.meta.get("stealth")
+        ][:5]
+        alert_total = 0
+        for trace in infections:
+            report = TrafficReplay(
+                OnTheWireDetector(trained_model)
+            ).run(trace)
+            alert_total += report.alert_count
+        assert alert_total >= 4  # nearly all non-stealth episodes alert
+
+    def test_report_shape(self, trained_model):
+        detector = OnTheWireDetector(trained_model)
+        report = TrafficReplay(detector).run([make_txn()])
+        assert isinstance(report, ReplayReport)
+        assert report.watches >= 1
+        assert report.alert_count == 0
+
+
+class TestProxySimulator:
+    def test_merges_multiple_hosts(self, trained_model):
+        detector = OnTheWireDetector(trained_model)
+        traces = [
+            Trace(transactions=[make_txn(client="h1", ts=1.0)]),
+            Trace(transactions=[make_txn(client="h2", ts=0.5)]),
+        ]
+        report = ProxySimulator(detector).run(traces)
+        assert report.transactions == 2
+        assert report.watches == 2
+
+    def test_alerts_attributed_to_client(self, trained_model, small_corpus):
+        detector = OnTheWireDetector(trained_model)
+        infection = next(
+            t for t in small_corpus.infections if not t.meta.get("stealth")
+        )
+        client = infection.transactions[0].client
+        report = ProxySimulator(detector).run([infection])
+        assert report.alerts_for(client) == report.alerts

@@ -1,0 +1,48 @@
+"""Unit tests for trusted-vendor weeding."""
+
+from repro.detection.whitelist import VendorWhitelist
+from tests.conftest import make_txn
+
+
+class TestVendorWhitelist:
+    def test_exact_match(self):
+        whitelist = VendorWhitelist(["dl.google.com"])
+        assert whitelist.trusted("dl.google.com")
+        assert whitelist.trusted("DL.GOOGLE.COM")
+
+    def test_subdomain_match(self):
+        whitelist = VendorWhitelist(["microsoft.com"])
+        assert whitelist.trusted("update.microsoft.com")
+        assert whitelist.trusted("a.b.microsoft.com")
+
+    def test_suffix_not_substring(self):
+        whitelist = VendorWhitelist(["microsoft.com"])
+        assert not whitelist.trusted("notmicrosoft.com")
+        assert not whitelist.trusted("microsoft.com.evil.pw")
+
+    def test_untrusted(self):
+        whitelist = VendorWhitelist(["pypi.org"])
+        assert not whitelist.trusted("evil.pw")
+
+    def test_add(self):
+        whitelist = VendorWhitelist([])
+        assert not whitelist.trusted("corp.example")
+        whitelist.add("corp.example")
+        assert whitelist.trusted("corp.example")
+        assert whitelist.trusted("files.corp.example")
+
+    def test_filter_transactions(self):
+        whitelist = VendorWhitelist(["trusted.com"])
+        txns = [
+            make_txn(host="trusted.com"),
+            make_txn(host="evil.pw", ts=101.0),
+            make_txn(host="cdn.trusted.com", ts=102.0),
+        ]
+        kept = whitelist.filter(txns)
+        assert [t.server for t in kept] == ["evil.pw"]
+
+    def test_default_list_covers_vendors(self):
+        whitelist = VendorWhitelist()
+        assert whitelist.trusted("download.microsoft.com")
+        assert whitelist.trusted("pypi.org")
+        assert len(whitelist) >= 5

@@ -1,0 +1,97 @@
+"""Unit + property tests for the feature extraction engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_wcg
+from repro.core.model import Trace, TraceLabel
+from repro.exceptions import FeatureError
+from repro.features.extractor import (
+    FeatureExtractor,
+    extract_features,
+    extract_matrix,
+)
+from repro.features.registry import NUM_FEATURES, feature_names
+from repro.synthesis.benign import BenignGenerator
+from repro.synthesis.families import family_by_name
+from repro.synthesis.infection import InfectionGenerator
+from tests.conftest import make_txn
+
+
+class TestExtractor:
+    def test_vector_shape(self, simple_trace):
+        vector = FeatureExtractor().extract_trace(simple_trace)
+        assert vector.shape == (NUM_FEATURES,)
+        assert vector.dtype == np.float64
+
+    def test_all_finite(self, simple_trace):
+        assert np.all(np.isfinite(
+            FeatureExtractor().extract_trace(simple_trace)
+        ))
+
+    def test_registry_order(self, simple_trace):
+        wcg = build_wcg(simple_trace)
+        vector = extract_features(wcg)
+        names = feature_names()
+        # f1 origin known -> 1.0 at index 0
+        assert names[0] == "origin"
+        assert vector[0] == 1.0
+        # f7 order at index 6
+        assert names[6] == "order"
+        assert vector[6] == wcg.order
+
+    def test_deterministic(self, simple_trace):
+        extractor = FeatureExtractor()
+        first = extractor.extract_trace(simple_trace)
+        second = extractor.extract_trace(simple_trace)
+        assert np.array_equal(first, second)
+
+    def test_degenerate_single_transaction(self):
+        vector = FeatureExtractor().extract_trace(
+            Trace(transactions=[make_txn()])
+        )
+        assert np.all(np.isfinite(vector))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6),
+           family=st.sampled_from(["Angler", "RIG", "Goon"]))
+    def test_any_infection_episode_extractable(self, seed, family):
+        """Property: every generated episode yields a finite vector."""
+        rng = np.random.default_rng(seed)
+        trace = InfectionGenerator(family_by_name(family), rng).generate()
+        vector = FeatureExtractor().extract_trace(trace)
+        assert vector.shape == (NUM_FEATURES,)
+        assert np.all(np.isfinite(vector))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_any_benign_episode_extractable(self, seed):
+        rng = np.random.default_rng(seed)
+        trace = BenignGenerator(rng).generate()
+        vector = FeatureExtractor().extract_trace(trace)
+        assert np.all(np.isfinite(vector))
+
+
+class TestExtractMatrix:
+    def test_shapes_and_labels(self, tiny_corpus):
+        X, y = extract_matrix(tiny_corpus.traces[:20])
+        assert X.shape == (20, NUM_FEATURES)
+        assert set(np.unique(y)) <= {0.0, 1.0}
+
+    def test_label_assignment(self):
+        benign = Trace(transactions=[make_txn()], label=TraceLabel.BENIGN)
+        infection = Trace(transactions=[make_txn()],
+                          label=TraceLabel.INFECTION)
+        _, y = extract_matrix([benign, infection])
+        assert list(y) == [0.0, 1.0]
+
+    def test_unlabelled_raises(self):
+        with pytest.raises(FeatureError, match="labelled"):
+            extract_matrix([Trace(transactions=[make_txn()])])
+
+    def test_empty_input(self):
+        X, y = extract_matrix([])
+        assert X.shape == (0, NUM_FEATURES)
+        assert y.shape == (0,)

@@ -1,0 +1,100 @@
+"""Unit tests for stratified k-fold CV."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LearningError
+from repro.learning.crossval import CrossValResult, cross_validate, stratified_kfold
+from repro.learning.forest import EnsembleRandomForest
+
+
+def _labels(n_pos=30, n_neg=70):
+    return np.array([1] * n_pos + [0] * n_neg)
+
+
+class TestStratifiedKfold:
+    def test_partition_is_complete_and_disjoint(self):
+        y = _labels()
+        seen = []
+        for train_idx, test_idx in stratified_kfold(y, k=5, seed=0):
+            assert set(train_idx) & set(test_idx) == set()
+            assert len(train_idx) + len(test_idx) == len(y)
+            seen.extend(test_idx)
+        assert sorted(seen) == list(range(len(y)))
+
+    def test_stratification(self):
+        y = _labels(n_pos=20, n_neg=80)
+        for _, test_idx in stratified_kfold(y, k=5, seed=0):
+            positives = int(y[test_idx].sum())
+            assert positives == 4  # 20 positives spread over 5 folds
+
+    def test_too_few_samples(self):
+        y = np.array([1, 1, 0, 0, 0])
+        with pytest.raises(LearningError, match="cannot make"):
+            list(stratified_kfold(y, k=3, seed=0))
+
+    def test_k_must_be_at_least_two(self):
+        with pytest.raises(LearningError, match="k must be"):
+            list(stratified_kfold(_labels(), k=1))
+
+    def test_deterministic(self):
+        y = _labels()
+        folds_a = [t.tolist() for _, t in stratified_kfold(y, k=4, seed=9)]
+        folds_b = [t.tolist() for _, t in stratified_kfold(y, k=4, seed=9)]
+        assert folds_a == folds_b
+
+    def test_seed_changes_folds(self):
+        y = _labels()
+        folds_a = [t.tolist() for _, t in stratified_kfold(y, k=4, seed=1)]
+        folds_b = [t.tolist() for _, t in stratified_kfold(y, k=4, seed=2)]
+        assert folds_a != folds_b
+
+
+class TestCrossValidate:
+    def _data(self, n=100, seed=0):
+        rng = np.random.default_rng(seed)
+        X0 = rng.normal(-1.5, 1.0, size=(n // 2, 4))
+        X1 = rng.normal(1.5, 1.0, size=(n // 2, 4))
+        return np.vstack([X0, X1]), np.array([0] * (n // 2) + [1] * (n // 2))
+
+    def test_fold_count(self):
+        X, y = self._data()
+        result = cross_validate(X, y, k=5, seed=0)
+        assert len(result.per_fold) == 5
+
+    def test_reasonable_accuracy(self):
+        X, y = self._data()
+        result = cross_validate(X, y, k=5, seed=0)
+        assert result.mean("tpr") > 0.85
+        assert result.mean("fpr") < 0.15
+
+    def test_feature_subset(self):
+        X, y = self._data()
+        noise = np.random.default_rng(1).normal(size=(len(y), 2))
+        X_noisy = np.hstack([noise, X])
+        informative = cross_validate(X_noisy, y, k=4, seed=0,
+                                     feature_indices=[2, 3, 4, 5])
+        noise_only = cross_validate(X_noisy, y, k=4, seed=0,
+                                    feature_indices=[0, 1])
+        assert informative.mean("roc_area") > noise_only.mean("roc_area")
+
+    def test_custom_model_factory(self):
+        X, y = self._data(60)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return EnsembleRandomForest(n_trees=3, random_state=0)
+
+        cross_validate(X, y, k=3, seed=0, model_factory=factory)
+        assert len(calls) == 3
+
+    def test_summary_and_std(self):
+        X, y = self._data()
+        result = cross_validate(X, y, k=4, seed=0)
+        summary = result.summary()
+        assert "tpr" in summary and "roc_area" in summary
+        assert result.std("tpr") >= 0.0
+
+    def test_empty_result_summary(self):
+        assert CrossValResult().summary() == {}

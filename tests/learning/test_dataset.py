@@ -1,0 +1,75 @@
+"""Unit tests for dataset containers and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LearningError
+from repro.learning.dataset import LabeledDataset, train_test_split
+
+
+def _dataset(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return LabeledDataset(X=X, y=y, feature_names=["a", "b", "c"])
+
+
+class TestLabeledDataset:
+    def test_counts(self):
+        data = _dataset()
+        assert len(data) == 100
+        assert data.positives == 50
+        assert data.negatives == 50
+        assert data.n_features == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(LearningError):
+            LabeledDataset(X=np.ones((3, 2)), y=np.ones(4),
+                           feature_names=["a", "b"])
+
+    def test_name_mismatch(self):
+        with pytest.raises(LearningError):
+            LabeledDataset(X=np.ones((3, 2)), y=np.ones(3),
+                           feature_names=["only-one"])
+
+    def test_select_columns(self):
+        data = _dataset()
+        subset = data.select([0, 2])
+        assert subset.feature_names == ["a", "c"]
+        assert subset.X.shape == (100, 2)
+        assert np.array_equal(subset.X[:, 1], data.X[:, 2])
+
+    def test_subset_rows(self):
+        data = _dataset()
+        mask = data.y == 1
+        positives = data.subset(mask)
+        assert len(positives) == 50
+        assert positives.negatives == 0
+
+
+class TestTrainTestSplit:
+    def test_stratified_proportions(self):
+        data = _dataset(200)
+        train, test = train_test_split(data, test_fraction=0.25, seed=0)
+        assert len(test) == 50
+        assert test.positives == 25
+        assert len(train) + len(test) == 200
+
+    def test_no_row_overlap(self):
+        data = _dataset(60)
+        # Tag rows with a unique value so overlap is detectable.
+        data.X[:, 0] = np.arange(60)
+        train, test = train_test_split(data, test_fraction=0.3, seed=1)
+        assert set(train.X[:, 0]) & set(test.X[:, 0]) == set()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(LearningError):
+            train_test_split(_dataset(), test_fraction=1.5)
+        with pytest.raises(LearningError):
+            train_test_split(_dataset(), test_fraction=0.0)
+
+    def test_deterministic(self):
+        data = _dataset()
+        train_a, _ = train_test_split(data, seed=7)
+        train_b, _ = train_test_split(data, seed=7)
+        assert np.array_equal(train_a.X, train_b.X)

@@ -1,0 +1,134 @@
+"""Unit + property tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import LearningError
+from repro.learning.metrics import (
+    ConfusionMatrix,
+    auc,
+    confusion,
+    evaluate_scores,
+    roc_auc,
+    roc_curve,
+)
+
+
+class TestConfusionMatrix:
+    def test_rates(self):
+        matrix = ConfusionMatrix(tp=90, fp=5, tn=95, fn=10)
+        assert matrix.tpr == pytest.approx(0.9)
+        assert matrix.fpr == pytest.approx(0.05)
+        assert matrix.precision == pytest.approx(90 / 95)
+        assert matrix.accuracy == pytest.approx(185 / 200)
+        assert matrix.total == 200
+
+    def test_f_score(self):
+        matrix = ConfusionMatrix(tp=80, fp=20, tn=80, fn=20)
+        precision = recall = 0.8
+        expected = 2 * precision * recall / (precision + recall)
+        assert matrix.f_score == pytest.approx(expected)
+
+    def test_degenerate_zero_division(self):
+        empty = ConfusionMatrix(tp=0, fp=0, tn=0, fn=0)
+        assert empty.tpr == 0.0
+        assert empty.fpr == 0.0
+        assert empty.precision == 0.0
+        assert empty.f_score == 0.0
+        assert empty.accuracy == 0.0
+
+    def test_confusion_builder(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1, 1])
+        matrix = confusion(y_true, y_pred)
+        assert (matrix.tp, matrix.fn, matrix.tn, matrix.fp) == (2, 1, 1, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(LearningError, match="mismatch"):
+            confusion(np.ones(3), np.ones(4))
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert roc_auc(y, scores) == pytest.approx(1.0)
+        assert fpr[0] == 0.0 and tpr[-1] == 1.0
+
+    def test_inverted_scores(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_collapsed(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        # All-tied scores: single step from (0,0) to (1,1) -> AUC 0.5.
+        assert roc_auc(y, scores) == pytest.approx(0.5)
+
+    def test_thresholds_descend(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=50)
+        scores = rng.random(50)
+        _, _, thresholds = roc_curve(y, scores)
+        assert all(np.diff(thresholds) <= 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        labels=st.lists(st.integers(0, 1), min_size=4, max_size=100).filter(
+            lambda ls: 0 in ls and 1 in ls
+        ),
+        seed=st.integers(0, 10**6),
+    )
+    def test_roc_monotone_property(self, labels, seed):
+        """Property: ROC points are monotone in both axes and span
+        [0,1]x[0,1]."""
+        rng = np.random.default_rng(seed)
+        y = np.array(labels)
+        scores = rng.random(len(y))
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0)
+        assert tpr[-1] == pytest.approx(1.0)
+        assert 0.0 <= roc_auc(y, scores) <= 1.0
+
+
+class TestAuc:
+    def test_unit_square(self):
+        assert auc(np.array([0, 1]), np.array([1, 1])) == pytest.approx(1.0)
+
+    def test_triangle(self):
+        assert auc(np.array([0, 1]), np.array([0, 1])) == pytest.approx(0.5)
+
+    def test_degenerate(self):
+        assert auc(np.array([0.0]), np.array([1.0])) == 0.0
+
+
+class TestEvaluateScores:
+    def test_threshold_semantics(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.2, 0.6, 0.7, 0.9])
+        strict = evaluate_scores(y, scores, threshold=0.65)
+        assert strict["tpr"] == pytest.approx(1.0)
+        assert strict["fpr"] == pytest.approx(0.0)
+        lax = evaluate_scores(y, scores, threshold=0.5)
+        assert lax["fpr"] == pytest.approx(0.5)
+
+    def test_metric_keys(self):
+        y = np.array([0, 1])
+        scores = np.array([0.1, 0.9])
+        result = evaluate_scores(y, scores)
+        assert set(result) == {"tpr", "fpr", "f_score", "accuracy",
+                               "roc_area", "precision"}

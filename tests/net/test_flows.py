@@ -1,0 +1,142 @@
+"""End-to-end flow tests: trace -> packets -> transactions round trip."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import HttpMethod, Trace
+from repro.net.flows import (
+    AddressBook,
+    packets_from_trace,
+    trace_from_packets,
+    transactions_from_packets,
+)
+from repro.synthesis.benign import BenignGenerator
+from repro.synthesis.families import family_by_name
+from repro.synthesis.infection import InfectionGenerator
+from tests.conftest import make_txn
+
+
+class TestAddressBook:
+    def test_stable_mapping(self):
+        book_a, book_b = AddressBook(), AddressBook()
+        assert book_a.ip_of("example.com") == book_b.ip_of("example.com")
+
+    def test_reverse_lookup(self):
+        book = AddressBook()
+        ip = book.ip_of("host.net")
+        assert book.host_of(ip) == "host.net"
+
+    def test_unknown_ip_passthrough(self):
+        assert AddressBook().host_of("9.9.9.9") == "9.9.9.9"
+
+    def test_distinct_hosts_distinct_ips(self):
+        book = AddressBook()
+        ips = {book.ip_of(f"host-{i}.com") for i in range(200)}
+        assert len(ips) == 200
+
+
+class TestRoundTrip:
+    def test_single_transaction(self):
+        trace = Trace(transactions=[
+            make_txn(host="server.com", uri="/page",
+                     body=b"<html>x</html>"),
+        ])
+        packets, book = packets_from_trace(trace)
+        recovered = transactions_from_packets(packets, book=book)
+        assert len(recovered) == 1
+        assert recovered[0].server == "server.com"
+        assert recovered[0].request.uri == "/page"
+        assert recovered[0].status == 200
+
+    def test_multiple_hosts_multiple_connections(self):
+        trace = Trace(transactions=[
+            make_txn(host="a.com", ts=1.0),
+            make_txn(host="b.com", ts=2.0),
+            make_txn(host="a.com", uri="/2", ts=3.0),
+        ])
+        packets, book = packets_from_trace(trace)
+        recovered = transactions_from_packets(packets, book=book)
+        assert len(recovered) == 3
+        assert {t.server for t in recovered} == {"a.com", "b.com"}
+
+    def test_persistent_connection_order(self):
+        trace = Trace(transactions=[
+            make_txn(host="a.com", uri=f"/{i}", ts=float(i))
+            for i in range(1, 6)
+        ])
+        packets, book = packets_from_trace(trace)
+        recovered = transactions_from_packets(packets, book=book)
+        assert [t.request.uri for t in recovered] == [
+            "/1", "/2", "/3", "/4", "/5"
+        ]
+
+    def test_post_and_status_preserved(self):
+        trace = Trace(transactions=[
+            make_txn(host="cnc.xyz", uri="/gate.php", method=HttpMethod.POST,
+                     status=404, body=b"nope"),
+        ])
+        packets, book = packets_from_trace(trace)
+        recovered = transactions_from_packets(packets, book=book)
+        assert recovered[0].request.method is HttpMethod.POST
+        assert recovered[0].status == 404
+
+    def test_unanswered_request_survives(self):
+        txn = make_txn(host="dead.ru")
+        txn.response = None
+        packets, book = packets_from_trace(Trace(transactions=[txn]))
+        recovered = transactions_from_packets(packets, book=book)
+        assert len(recovered) == 1
+        assert recovered[0].response is None
+
+    def test_headers_preserved(self):
+        trace = Trace(transactions=[
+            make_txn(referrer="http://google.com/q",
+                     extra_req_headers={"X-Flash-Version": "11"}),
+        ])
+        packets, book = packets_from_trace(trace)
+        recovered = transactions_from_packets(packets, book=book)
+        assert recovered[0].request.referrer == "http://google.com/q"
+        assert recovered[0].request.headers.get("X-Flash-Version") == "11"
+
+    def test_trace_from_packets_convenience(self):
+        trace = Trace(transactions=[make_txn()])
+        packets, book = packets_from_trace(trace)
+        rebuilt = trace_from_packets(packets, book=book)
+        assert len(rebuilt) == 1
+
+    def test_payload_type_survives_roundtrip(self):
+        trace = Trace(transactions=[
+            make_txn(host="ek.pw", uri="/drop.jar",
+                     content_type="application/java-archive",
+                     body=b"PK\x03\x04fakejar"),
+        ])
+        packets, book = packets_from_trace(trace)
+        recovered = transactions_from_packets(packets, book=book)
+        assert recovered[0].payload_type.value == "jar"
+
+
+class TestSyntheticEpisodeRoundTrip:
+    def test_infection_episode_roundtrip(self):
+        rng = np.random.default_rng(3)
+        generator = InfectionGenerator(family_by_name("RIG"), rng)
+        trace = generator.generate()
+        packets, book = packets_from_trace(trace)
+        recovered = transactions_from_packets(packets, book=book)
+        assert len(recovered) == len(trace.transactions)
+        assert {t.server for t in recovered} == {
+            t.server for t in trace.transactions
+        }
+
+    def test_benign_episode_roundtrip(self):
+        generator = BenignGenerator(np.random.default_rng(4))
+        trace = generator.generate()
+        packets, book = packets_from_trace(trace)
+        recovered = transactions_from_packets(packets, book=book)
+        assert len(recovered) == len(trace.transactions)
+
+    def test_timestamps_monotonic_per_connection(self):
+        generator = BenignGenerator(np.random.default_rng(5))
+        trace = generator.generate()
+        packets, _ = packets_from_trace(trace)
+        stamps = [p.timestamp for p in packets]
+        assert stamps == sorted(stamps)

@@ -1,0 +1,95 @@
+"""Failure-injection tests: the decode pipeline on dirty captures."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.core.model import Trace
+from repro.net.flows import packets_from_trace, transactions_from_packets
+from repro.net.packets import (
+    ACK,
+    PSH,
+    encode_tcp_in_ipv4_ethernet,
+)
+from repro.net.pcap import PcapPacket
+from tests.conftest import make_txn
+
+
+def _clean_capture():
+    trace = Trace(transactions=[
+        make_txn(host="a.com", uri="/1", ts=1.0),
+        make_txn(host="b.com", uri="/2", ts=2.0),
+    ])
+    return packets_from_trace(trace)
+
+
+def _udp_packet(ts: float) -> PcapPacket:
+    """An Ethernet/IPv4/UDP packet the TCP pipeline must skip."""
+    eth = struct.pack("!6s6sH", b"\x02" * 6, b"\x04" * 6, 0x0800)
+    payload = b"dns-ish"
+    total = 20 + 8 + len(payload)
+    ip = struct.pack(
+        "!BBHHHBBH4s4s", (4 << 4) | 5, 0, total, 0, 0, 64, 17, 0,
+        bytes([10, 0, 0, 1]), bytes([10, 0, 0, 2]),
+    )
+    udp = struct.pack("!HHHH", 53, 53, 8 + len(payload), 0) + payload
+    return PcapPacket(timestamp=ts, data=eth + ip + udp)
+
+
+def _arp_packet(ts: float) -> PcapPacket:
+    """A non-IPv4 Ethernet frame (ARP)."""
+    eth = struct.pack("!6s6sH", b"\xff" * 6, b"\x02" * 6, 0x0806)
+    return PcapPacket(timestamp=ts, data=eth + b"\x00" * 28)
+
+
+class TestNoiseResilience:
+    def test_udp_and_arp_skipped(self):
+        packets, book = _clean_capture()
+        noisy = sorted(
+            packets + [_udp_packet(0.5), _arp_packet(0.6), _udp_packet(3.0)],
+            key=lambda p: p.timestamp,
+        )
+        transactions = transactions_from_packets(noisy, book=book)
+        assert len(transactions) == 2
+
+    def test_stray_tcp_without_http(self):
+        packets, book = _clean_capture()
+        stray = PcapPacket(
+            timestamp=0.7,
+            data=encode_tcp_in_ipv4_ethernet(
+                "10.9.9.9", "10.8.8.8", 5555, 6666, 1, 1, PSH | ACK,
+                b"\x00\x01\x02 not http at all",
+            ),
+        )
+        noisy = sorted(packets + [stray], key=lambda p: p.timestamp)
+        # The stray stream is not HTTP; it is skipped, the rest survive.
+        transactions = transactions_from_packets(noisy, book=book)
+        assert len(transactions) == 2
+
+    def test_duplicate_packets_are_idempotent(self):
+        packets, book = _clean_capture()
+        doubled = sorted(packets + packets, key=lambda p: p.timestamp)
+        transactions = transactions_from_packets(doubled, book=book)
+        assert len(transactions) == 2
+
+    def test_dropped_handshake_still_parses(self):
+        packets, book = _clean_capture()
+        # Strip SYN/SYN-ACK/ACK (the first three frames per connection
+        # carry no payload).
+        data_only = [p for p in packets if len(p.data) > 54 + 20]
+        transactions = transactions_from_packets(data_only, book=book)
+        assert len(transactions) == 2
+
+    def test_shuffled_segments_reassemble(self):
+        trace = Trace(transactions=[
+            make_txn(host="big.com", uri="/blob",
+                     body=b"A" * 5000, ts=1.0),
+        ])
+        packets, book = packets_from_trace(trace)
+        rng = np.random.default_rng(0)
+        shuffled = list(packets)
+        rng.shuffle(shuffled)
+        transactions = transactions_from_packets(shuffled, book=book)
+        assert len(transactions) == 1
+        assert transactions[0].response.body == b"A" * 5000

@@ -1,0 +1,183 @@
+"""Unit + property tests for TCP stream reassembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TcpReassemblyError
+from repro.net.packets import ACK, FIN, PSH, RST, SYN, TcpSegment
+from repro.net.reassembly import FlowKey, StreamDirection, TcpReassembler
+
+
+def _segment(src_port=40000, dst_port=80, seq=0, flags=ACK, payload=b""):
+    return TcpSegment(src_port=src_port, dst_port=dst_port, seq=seq,
+                      ack=0, flags=flags, payload=payload)
+
+
+class TestFlowKey:
+    def test_canonical_both_directions(self):
+        forward = FlowKey.of("1.1.1.1", 40000, "2.2.2.2", 80)
+        backward = FlowKey.of("2.2.2.2", 80, "1.1.1.1", 40000)
+        assert forward == backward
+
+    def test_distinct_connections_differ(self):
+        a = FlowKey.of("1.1.1.1", 40000, "2.2.2.2", 80)
+        b = FlowKey.of("1.1.1.1", 40001, "2.2.2.2", 80)
+        assert a != b
+
+
+class TestHandshakeAndDirections:
+    def _open_stream(self):
+        reassembler = TcpReassembler()
+        reassembler.feed(1.0, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=99, flags=SYN))
+        reassembler.feed(1.1, "10.0.0.2", "10.0.0.1",
+                         _segment(src_port=80, dst_port=40000, seq=499,
+                                  flags=SYN | ACK))
+        return reassembler
+
+    def test_client_identified_by_syn(self):
+        reassembler = self._open_stream()
+        stream = reassembler.streams()[0]
+        assert stream.client == ("10.0.0.1", 40000)
+        assert stream.server == ("10.0.0.2", 80)
+
+    def test_in_order_payload(self):
+        reassembler = self._open_stream()
+        reassembler.feed(1.2, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=100, flags=PSH | ACK, payload=b"GET "))
+        reassembler.feed(1.3, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=104, flags=PSH | ACK, payload=b"/ HT"))
+        stream = reassembler.streams()[0]
+        assert stream.client_data == b"GET / HT"
+
+    def test_out_of_order_payload(self):
+        reassembler = self._open_stream()
+        reassembler.feed(1.3, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=104, payload=b"/ HT"))
+        reassembler.feed(1.2, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=100, payload=b"GET "))
+        assert reassembler.streams()[0].client_data == b"GET / HT"
+
+    def test_retransmission_ignored(self):
+        reassembler = self._open_stream()
+        reassembler.feed(1.2, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=100, payload=b"abcd"))
+        reassembler.feed(1.3, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=100, payload=b"abcd"))
+        assert reassembler.streams()[0].client_data == b"abcd"
+
+    def test_overlapping_retransmission_trimmed(self):
+        reassembler = self._open_stream()
+        reassembler.feed(1.2, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=100, payload=b"abcd"))
+        reassembler.feed(1.3, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=102, payload=b"cdEF"))
+        assert reassembler.streams()[0].client_data == b"abcdEF"
+
+    def test_server_data_separate(self):
+        reassembler = self._open_stream()
+        reassembler.feed(1.2, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=100, payload=b"req"))
+        reassembler.feed(1.4, "10.0.0.2", "10.0.0.1",
+                         _segment(src_port=80, dst_port=40000, seq=500,
+                                  payload=b"res"))
+        stream = reassembler.streams()[0]
+        assert stream.client_data == b"req"
+        assert stream.server_data == b"res"
+
+    def test_fin_both_sides_closes(self):
+        reassembler = self._open_stream()
+        reassembler.feed(1.5, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=100, flags=FIN | ACK))
+        stream = reassembler.streams()[0]
+        assert not stream.closed
+        reassembler.feed(1.6, "10.0.0.2", "10.0.0.1",
+                         _segment(src_port=80, dst_port=40000, seq=500,
+                                  flags=FIN | ACK))
+        assert stream.closed
+
+    def test_rst_closes_immediately(self):
+        reassembler = self._open_stream()
+        reassembler.feed(1.5, "10.0.0.2", "10.0.0.1",
+                         _segment(src_port=80, dst_port=40000, seq=500,
+                                  flags=RST))
+        assert reassembler.streams()[0].closed
+
+
+class TestMidCaptureStreams:
+    def test_client_guessed_from_service_port(self):
+        reassembler = TcpReassembler()
+        reassembler.feed(1.0, "10.0.0.9", "10.0.0.2",
+                         _segment(seq=7, payload=b"GET / HTTP/1.1\r\n"))
+        stream = reassembler.streams()[0]
+        assert stream.client == ("10.0.0.9", 40000)
+        assert stream.client_data.startswith(b"GET")
+
+    def test_seq_adopted_without_syn(self):
+        reassembler = TcpReassembler()
+        reassembler.feed(1.0, "10.0.0.9", "10.0.0.2",
+                         _segment(seq=1000, payload=b"abc"))
+        reassembler.feed(1.1, "10.0.0.9", "10.0.0.2",
+                         _segment(seq=1003, payload=b"def"))
+        assert reassembler.streams()[0].client_data == b"abcdef"
+
+
+class TestSequenceWraparound:
+    def test_payload_across_wrap(self):
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 2**32 - 2
+        direction.feed(2**32 - 2, b"ab", 1.0)
+        direction.feed(0, b"cd", 1.1)
+        assert bytes(direction.data) == b"abcd"
+
+    def test_fully_stale_segment_dropped(self):
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 100
+        direction.feed(100, b"abcdef", 1.0)
+        direction.feed(100, b"abc", 1.1)  # entirely behind next_seq
+        assert bytes(direction.data) == b"abcdef"
+
+    def test_gap_flag(self):
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 0
+        direction.feed(10, b"later", 1.0)
+        assert direction.has_gap
+        direction.feed(0, b"0123456789", 1.1)
+        assert not direction.has_gap
+        assert bytes(direction.data) == b"0123456789later"
+
+    def test_buffer_overflow_guard(self):
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 0
+        with pytest.raises(TcpReassemblyError, match="overflow"):
+            for index in range(40):
+                direction.feed(
+                    10_000_000 + index * 2_000_000, b"\x00" * 1_500_000, 1.0
+                )
+
+
+class TestReassemblyProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        chunks=st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                        max_size=12),
+        seed=st.integers(0, 10**6),
+    )
+    def test_any_arrival_order_reassembles(self, chunks, seed):
+        """Property: payload split arbitrarily and shuffled reassembles."""
+        message = b"".join(chunks)
+        offsets = []
+        position = 0
+        for chunk in chunks:
+            offsets.append((position, chunk))
+            position += len(chunk)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(offsets))
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 5000
+        for index in order:
+            offset, chunk = offsets[int(index)]
+            direction.feed(5000 + offset, chunk, 1.0)
+        assert bytes(direction.data) == message

@@ -1,0 +1,99 @@
+"""Unit tests for the case-study stream generators."""
+
+import pytest
+
+from repro.synthesis.casestudy import (
+    enterprise_live_session,
+    forensic_streaming_session,
+)
+
+
+@pytest.fixture(scope="module")
+def forensic():
+    return forensic_streaming_session(seed=2016)
+
+
+@pytest.fixture(scope="module")
+def enterprise():
+    return enterprise_live_session(seed=48)
+
+
+class TestForensicSession:
+    def test_transaction_volume_matches_paper(self, forensic):
+        assert forensic.transaction_count == 3011
+
+    def test_single_client(self, forensic):
+        assert forensic.clients == ["fan-laptop"]
+        assert all(
+            t.client == "fan-laptop" for t in forensic.trace.transactions
+        )
+
+    def test_five_infectious_episodes(self, forensic):
+        assert forensic.infectious_episodes == 5
+
+    def test_download_count_capped_at_32(self, forensic):
+        assert len(forensic.downloads) <= 32
+
+    def test_has_content_borne_pdf(self, forensic):
+        assert any(
+            d.content_borne and d.malicious for d in forensic.downloads
+        )
+
+    def test_downloads_have_hashes(self, forensic):
+        assert all(d.sha256 for d in forensic.downloads)
+
+    def test_stream_time_ordered(self, forensic):
+        stamps = [t.timestamp for t in forensic.trace.transactions]
+        assert stamps == sorted(stamps)
+
+    def test_streaming_filler_dominates(self, forensic):
+        segments = sum(
+            1 for t in forensic.trace.transactions
+            if t.server == "atdhe.net"
+        )
+        assert segments > 1000
+
+    def test_determinism(self):
+        again = forensic_streaming_session(seed=2016)
+        assert again.transaction_count == 3011
+        assert len(again.downloads) == len(
+            forensic_streaming_session(seed=2016).downloads
+        )
+
+
+class TestEnterpriseSession:
+    def test_three_hosts(self, enterprise):
+        assert set(enterprise.clients) == {
+            "win-host", "ubuntu-host", "macos-host"
+        }
+
+    def test_eight_infectious_episodes(self, enterprise):
+        assert enterprise.infectious_episodes == 8
+
+    def test_download_mix_spans_hosts(self, enterprise):
+        by_host = {}
+        for record in enterprise.downloads:
+            by_host.setdefault(record.client, []).append(record)
+        assert set(by_host) == {"win-host", "ubuntu-host", "macos-host"}
+
+    def test_windows_has_content_borne_pdfs(self, enterprise):
+        pdfs = [
+            d for d in enterprise.downloads
+            if d.content_borne and d.client == "win-host"
+        ]
+        assert len(pdfs) == 2
+
+    def test_macos_infection_is_dmg(self, enterprise):
+        mac_malicious = [
+            d for d in enterprise.downloads
+            if d.client == "macos-host" and d.malicious
+            and not d.content_borne
+        ]
+        assert all(d.extension == "dmg" for d in mac_malicious)
+        assert len(mac_malicious) >= 1
+
+    def test_stream_merged_and_ordered(self, enterprise):
+        stamps = [t.timestamp for t in enterprise.trace.transactions]
+        assert stamps == sorted(stamps)
+        clients = {t.client for t in enterprise.trace.transactions}
+        assert clients == {"win-host", "ubuntu-host", "macos-host"}

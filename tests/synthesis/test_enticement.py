@@ -1,0 +1,74 @@
+"""Unit tests for the enticement-origin model (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.entities import NameForge
+from repro.synthesis.enticement import (
+    ENTICEMENT_DISTRIBUTION,
+    EnticementKind,
+    draw_enticement,
+)
+
+
+class TestDistribution:
+    def test_normalized(self):
+        assert sum(ENTICEMENT_DISTRIBUTION.values()) == pytest.approx(1.0)
+
+    def test_search_engines_dominate(self):
+        search = (ENTICEMENT_DISTRIBUTION[EnticementKind.GOOGLE]
+                  + ENTICEMENT_DISTRIBUTION[EnticementKind.BING])
+        assert search > 0.55  # paper: 62%
+
+    def test_google_exceeds_bing(self):
+        assert ENTICEMENT_DISTRIBUTION[EnticementKind.GOOGLE] > \
+            ENTICEMENT_DISTRIBUTION[EnticementKind.BING]
+
+    def test_social_is_rare(self):
+        assert ENTICEMENT_DISTRIBUTION[EnticementKind.SOCIAL] < 0.01
+
+
+class TestDraw:
+    def _draws(self, n=2000, seed=0):
+        rng = np.random.default_rng(seed)
+        forge = NameForge(rng)
+        return [draw_enticement(rng, forge) for _ in range(n)]
+
+    def test_empirical_matches_figure1(self):
+        draws = self._draws()
+        fractions = {
+            kind: sum(1 for d in draws if d.kind is kind) / len(draws)
+            for kind in EnticementKind
+        }
+        for kind, expected in ENTICEMENT_DISTRIBUTION.items():
+            assert fractions[kind] == pytest.approx(expected, abs=0.03)
+
+    def test_google_referrer_url(self):
+        for drawn in self._draws(200):
+            if drawn.kind is EnticementKind.GOOGLE:
+                assert drawn.origin_host == "google.com"
+                assert drawn.referrer_url.startswith("http://google.com/")
+                return
+        pytest.fail("no google draw in 200 samples")
+
+    def test_concealed_kinds_have_no_referrer(self):
+        for drawn in self._draws(400):
+            if drawn.concealed:
+                assert drawn.origin_host == ""
+                assert drawn.referrer_url == ""
+
+    def test_compromised_has_cms_path(self):
+        for drawn in self._draws(400):
+            if drawn.kind is EnticementKind.COMPROMISED:
+                assert drawn.origin_host
+                assert any(
+                    marker in drawn.referrer_url
+                    for marker in ("/wp-", "/components/", "/modules/",
+                                   "/sites/")
+                )
+                return
+        pytest.fail("no compromised draw in 400 samples")
+
+    def test_repr(self):
+        drawn = self._draws(1)[0]
+        assert "Enticement(" in repr(drawn)

@@ -1,0 +1,84 @@
+"""Unit tests for the entity forge."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.entities import NameForge, TRUSTED_VENDORS
+
+
+@pytest.fixture()
+def forge(rng):
+    return NameForge(rng)
+
+
+class TestNameForge:
+    def test_domains_never_repeat(self, forge):
+        domains = {forge.domain() for _ in range(500)}
+        assert len(domains) == 500
+
+    def test_domain_structure(self, forge):
+        domain = forge.domain()
+        assert domain.count(".") == 1
+        name, tld = domain.split(".")
+        assert name and tld
+
+    def test_fixed_tld(self, forge):
+        assert forge.domain(tld="com").endswith(".com")
+
+    def test_dga_domain_shape(self, forge):
+        dga = forge.dga_domain()
+        body = dga.split(".")[0]
+        assert 10 <= len(body) < 20
+
+    def test_subdomain(self, forge):
+        assert forge.subdomain("akamai.net").endswith(".akamai.net")
+
+    def test_cms_uri_matches_known_installations(self, forge):
+        markers = ("/wp-", "/components/", "/modules/", "/sites/")
+        for _ in range(20):
+            uri = forge.cms_uri()
+            assert any(uri.startswith(m) or m in uri for m in markers), uri
+
+    def test_ip_shape(self, forge):
+        for _ in range(50):
+            parts = forge.ip().split(".")
+            assert len(parts) == 4
+            assert all(0 < int(p) < 256 for p in parts)
+
+    def test_token_hex(self, forge):
+        token = forge.token(32)
+        assert len(token) == 32
+        int(token, 16)  # must be valid hex
+
+    def test_uri_extension_and_query(self, forge):
+        uri = forge.uri(depth=2, extension="js", query=True)
+        path = uri.split("?")[0]
+        assert path.endswith(".js")
+        assert "id=" in uri
+
+    def test_long_ek_uri_is_long(self, forge):
+        uris = [forge.long_ek_uri(extension="exe") for _ in range(20)]
+        assert all(".exe" in u for u in uris)
+        assert np.mean([len(u) for u in uris]) > 50
+
+    def test_determinism_same_seed(self):
+        forge_a = NameForge(np.random.default_rng(9))
+        forge_b = NameForge(np.random.default_rng(9))
+        assert [forge_a.domain() for _ in range(10)] == [
+            forge_b.domain() for _ in range(10)
+        ]
+
+    def test_user_agent_plausible(self, forge):
+        assert forge.user_agent().startswith("Mozilla/")
+
+    def test_trusted_vendors_nonempty(self):
+        assert len(TRUSTED_VENDORS) >= 5
+
+
+class TestDomainSpaceExhaustion:
+    def test_small_shape_space_does_not_hang(self):
+        # 2-syllable .com domains have ~900 combinations; full-scale
+        # corpora mint thousands of compromised sites from that shape.
+        forge = NameForge(np.random.default_rng(0))
+        minted = {forge.compromised_site() for _ in range(3000)}
+        assert len(minted) == 3000

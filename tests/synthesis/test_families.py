@@ -1,0 +1,71 @@
+"""Unit tests for the Table I family profiles."""
+
+import pytest
+
+from repro.synthesis.families import (
+    BENIGN_PROFILE,
+    EXPLOIT_KIT_FAMILIES,
+    TOTAL_INFECTION_TRACES,
+    family_by_name,
+)
+
+
+class TestTableOneEncoding:
+    def test_ten_family_rows(self):
+        assert len(EXPLOIT_KIT_FAMILIES) == 10
+
+    def test_total_infection_traces_is_770(self):
+        assert TOTAL_INFECTION_TRACES == 770
+
+    def test_benign_row(self):
+        assert BENIGN_PROFILE.trace_count == 980
+        assert (BENIGN_PROFILE.hosts.low, BENIGN_PROFILE.hosts.high,
+                BENIGN_PROFILE.hosts.mean) == (2, 34, 3)
+        assert BENIGN_PROFILE.redirects.high == 2
+        assert BENIGN_PROFILE.post_download_prob == 0.0
+
+    def test_angler_row_matches_paper(self):
+        angler = family_by_name("Angler")
+        assert angler.trace_count == 253
+        assert (angler.hosts.low, angler.hosts.high, angler.hosts.mean) == \
+            (2, 74, 6)
+        assert angler.redirects.high == 18
+        assert angler.payload_counts["js"] == 1163
+        assert angler.payload_counts["crypt"] == 64
+
+    def test_goon_has_longest_redirect_chain(self):
+        goon = family_by_name("Goon")
+        assert goon.redirects.high == 30
+        assert goon.redirects.high == max(
+            f.redirects.high for f in EXPLOIT_KIT_FAMILIES
+        )
+
+    def test_magnitude_has_most_hosts_on_average(self):
+        magnitude = family_by_name("Magnitude")
+        assert magnitude.hosts.mean == max(
+            f.hosts.mean for f in EXPLOIT_KIT_FAMILIES
+        )
+
+    def test_minimum_hosts_always_two(self):
+        # "the smallest conversation involves a client and one remote host"
+        assert all(f.hosts.low == 2 for f in EXPLOIT_KIT_FAMILIES)
+        assert BENIGN_PROFILE.hosts.low == 2
+
+    def test_payload_rate(self):
+        rig = family_by_name("RIG")
+        assert rig.payload_rate["jar"] == pytest.approx(74 / 62)
+
+    def test_callback_prevalence_default(self):
+        assert family_by_name("Nuclear").post_download_prob == \
+            pytest.approx(708 / 770)
+
+    def test_lookup_case_insensitive(self):
+        assert family_by_name("angler") is family_by_name("ANGLER")
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown family"):
+            family_by_name("NotAKit")
+
+    def test_signature_payloads_nonempty(self):
+        for profile in EXPLOIT_KIT_FAMILIES:
+            assert profile.signature_payloads

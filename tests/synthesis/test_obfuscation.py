@@ -1,0 +1,63 @@
+"""Unit tests for the obfuscation generators."""
+
+import numpy as np
+import pytest
+
+from repro.synthesis.obfuscation import (
+    ObfuscationStyle,
+    obfuscate_redirect,
+    random_style,
+)
+
+
+class TestObfuscateRedirect:
+    URL = "http://exploit-kit.pw/gate?k=abc123"
+
+    @pytest.mark.parametrize("style", list(ObfuscationStyle))
+    def test_snippet_nonempty(self, style, rng):
+        snippet = obfuscate_redirect(self.URL, style, rng)
+        assert snippet
+
+    @pytest.mark.parametrize(
+        "style",
+        [ObfuscationStyle.FROMCHARCODE, ObfuscationStyle.UNESCAPE,
+         ObfuscationStyle.ATOB, ObfuscationStyle.REVERSE],
+    )
+    def test_url_not_visible_in_heavy_styles(self, style, rng):
+        snippet = obfuscate_redirect(self.URL, style, rng)
+        assert self.URL not in snippet
+
+    def test_concat_splits_url(self, rng):
+        snippet = obfuscate_redirect(self.URL, ObfuscationStyle.CONCAT, rng)
+        assert self.URL not in snippet
+        assert "+" in snippet
+
+    def test_meta_refresh_contains_url(self, rng):
+        snippet = obfuscate_redirect(self.URL, ObfuscationStyle.META_REFRESH,
+                                     rng)
+        assert self.URL in snippet
+        assert "http-equiv" in snippet
+
+    def test_iframe_is_hidden(self, rng):
+        snippet = obfuscate_redirect(self.URL, ObfuscationStyle.IFRAME, rng)
+        assert "visibility:hidden" in snippet
+
+
+class TestRandomStyle:
+    def test_all_weighted_styles_reachable(self):
+        rng = np.random.default_rng(0)
+        seen = {random_style(rng) for _ in range(500)}
+        assert len(seen) >= 7
+
+    def test_markup_exclusion(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            style = random_style(rng, include_markup=False)
+            assert style not in (ObfuscationStyle.IFRAME,
+                                 ObfuscationStyle.META_REFRESH)
+
+    def test_iframe_most_common_with_markup(self):
+        rng = np.random.default_rng(1)
+        draws = [random_style(rng) for _ in range(1000)]
+        iframe_share = draws.count(ObfuscationStyle.IFRAME) / len(draws)
+        assert iframe_share == pytest.approx(0.25, abs=0.05)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "table5" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig1", "--scale", "0.05", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "nonexistent"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_complete(self):
+        expected = {"table1", "fig1", "fig2", "fig3", "fig4", "table3", "table4",
+                    "fig10", "table5", "cs1", "table6", "evasion", "baselines", "families",
+                    "ablation-voting", "ablation-forest"}
+        assert expected == set(EXPERIMENTS)
+
+
+class TestToolWorkflow:
+    """train -> synth -> detect, the deployment path."""
+
+    @pytest.fixture(scope="class")
+    def model_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli") / "model.json")
+        assert main(["train", "--out", path, "--scale", "0.05",
+                     "--seed", "11"]) == 0
+        return path
+
+    def test_train_writes_model(self, model_path):
+        import json
+        with open(model_path) as handle:
+            payload = json.load(handle)
+        assert payload["model"] == "EnsembleRandomForest"
+        assert len(payload["trees"]) == 20
+
+    def test_synth_benign(self, tmp_path, capsys):
+        pcap = str(tmp_path / "b.pcap")
+        assert main(["synth", pcap, "--kind", "benign", "--seed", "3"]) == 0
+        assert "benign" in capsys.readouterr().out
+
+    def test_synth_unknown_family(self, tmp_path, capsys):
+        pcap = str(tmp_path / "x.pcap")
+        assert main(["synth", pcap, "--kind", "NotAKit"]) == 2
+
+    def test_detect_infection_pcap(self, model_path, tmp_path, capsys):
+        pcap = str(tmp_path / "angler.pcap")
+        assert main(["synth", pcap, "--kind", "Angler", "--seed", "5"]) == 0
+        code = main(["detect", pcap, "--model", model_path,
+                     "--threshold", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 1  # alert raised -> nonzero exit
+        assert "ALERT" in out
+
+    def test_detect_benign_pcap(self, model_path, tmp_path, capsys):
+        pcap = str(tmp_path / "benign.pcap")
+        assert main(["synth", pcap, "--kind", "benign", "--seed", "9"]) == 0
+        code = main(["detect", pcap, "--model", model_path])
+        assert code == 0
+        assert "0 alert(s)" in capsys.readouterr().out

@@ -1,0 +1,35 @@
+"""Tests for the leave-one-family-out experiment."""
+
+import pytest
+
+from repro.experiments import families_breakdown
+
+SEED = 7
+SCALE = 0.12
+
+
+class TestFamiliesBreakdown:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return families_breakdown.run(SEED, SCALE)
+
+    def test_all_families_evaluated(self, results):
+        assert len(results) == 10
+
+    def test_metrics_shape(self, results):
+        for family, metrics in results.items():
+            assert set(metrics) == {"episodes", "detected", "tpr",
+                                    "mean_score"}
+            assert 0.0 <= metrics["tpr"] <= 1.0
+            assert metrics["detected"] <= metrics["episodes"]
+
+    def test_generalization_holds(self, results):
+        weighted = sum(
+            m["tpr"] * m["episodes"] for m in results.values()
+        ) / sum(m["episodes"] for m in results.values())
+        assert weighted > 0.8
+
+    def test_report_renders(self):
+        text = families_breakdown.report(SEED, SCALE)
+        assert "leave-one-family-out" in text
+        assert "Angler" in text

@@ -1,0 +1,107 @@
+"""Unit tests for the simulated AV engines."""
+
+import pytest
+
+from repro.vtsim.engines import (
+    DAY,
+    AvEngine,
+    PayloadSample,
+    build_engine_fleet,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return build_engine_fleet()
+
+
+def _sample(**kwargs):
+    defaults = dict(sha256="deadbeef", malicious=True, first_seen=1e9)
+    defaults.update(kwargs)
+    return PayloadSample(**defaults)
+
+
+class TestFleet:
+    def test_fifty_six_engines(self, fleet):
+        assert len(fleet) == 56
+
+    def test_unique_names(self, fleet):
+        assert len({e.name for e in fleet}) == 56
+
+    def test_some_content_capable(self, fleet):
+        capable = [e for e in fleet if e.content_capable]
+        assert 3 <= len(capable) <= 10
+
+    def test_quality_variation(self, fleet):
+        lags = {e.mean_lag_days for e in fleet}
+        assert len(lags) > 10  # engines differ
+
+
+class TestDetectionTime:
+    def test_deterministic(self, fleet):
+        engine = fleet[0]
+        sample = _sample()
+        assert engine.detection_time(sample) == engine.detection_time(sample)
+
+    def test_monotone_in_time(self, fleet):
+        sample = _sample()
+        for engine in fleet:
+            when = engine.detection_time(sample)
+            if when is None:
+                continue
+            assert not engine.detects(sample, when - 1.0)
+            assert engine.detects(sample, when + 1.0)
+
+    def test_old_sample_widely_detected(self, fleet):
+        sample = _sample(first_seen=1e9 - 60 * DAY)
+        detectors = sum(1 for e in fleet if e.detects(sample, 1e9))
+        assert detectors > 20
+
+    def test_fresh_sample_clean_at_first_scan(self, fleet):
+        sample = _sample(fresh=True, first_seen=1e9)
+        detectors = sum(1 for e in fleet if e.detects(sample, 1e9 + 3600))
+        assert detectors == 0  # min lag is 0.25 day for fresh samples
+
+    def test_fresh_sample_detected_later(self, fleet):
+        sample = _sample(fresh=True, first_seen=1e9)
+        detectors = sum(
+            1 for e in fleet if e.detects(sample, 1e9 + 60 * DAY)
+        )
+        assert detectors > 20
+
+    def test_content_borne_gated_to_capable_engines(self, fleet):
+        sample = _sample(content_borne=True, first_seen=1e9)
+        late = 1e9 + 30 * DAY
+        for engine in fleet:
+            if not engine.content_capable:
+                assert not engine.detects(sample, late)
+
+    def test_content_borne_lag_window(self, fleet):
+        sample = _sample(content_borne=True, first_seen=1e9)
+        capable = [e for e in fleet if e.content_capable]
+        at_day_2 = sum(1 for e in capable if e.detects(sample, 1e9 + 2 * DAY))
+        at_day_14 = sum(
+            1 for e in capable if e.detects(sample, 1e9 + 14 * DAY)
+        )
+        assert at_day_2 == 0   # uniform(5, 11)-day lag
+        assert at_day_14 >= 3  # paper's resubmission story
+
+    def test_benign_sample_rarely_flagged(self, fleet):
+        flags = 0
+        for index in range(30):
+            sample = _sample(sha256=f"benign-{index}", malicious=False)
+            flags += sum(1 for e in fleet if e.detects(sample, 1e9))
+        # ~0.012 * 56 * 30 = ~20 expected individual engine FPs
+        assert flags < 60
+
+    def test_suspicious_benign_flagged_more(self, fleet):
+        normal_flags = suspicious_flags = 0
+        for index in range(30):
+            normal = _sample(sha256=f"n-{index}", malicious=False)
+            suspicious = _sample(sha256=f"s-{index}", malicious=False,
+                                 reputation="suspicious")
+            normal_flags += sum(1 for e in fleet if e.detects(normal, 1e9))
+            suspicious_flags += sum(
+                1 for e in fleet if e.detects(suspicious, 1e9)
+            )
+        assert suspicious_flags > normal_flags
