@@ -152,8 +152,13 @@ class OnTheWireDetector:
         if score < self.config.alert_threshold:
             return None
         last = self._last_alert_ts.get(watch.client)
-        if last is not None and 0 <= now - last < self.config.alert_cooldown:
-            # Same incident: terminate the fragment quietly.
+        if last is not None and now - last < self.config.alert_cooldown:
+            # Same incident: terminate the fragment quietly.  A negative
+            # delta (skewed or out-of-order timestamps) counts as inside
+            # the cooldown — it is the same incident seen with an earlier
+            # clock, not a reason to page twice.  Keep the high-water
+            # mark so the window stays monotonic.
+            self._last_alert_ts[watch.client] = max(last, now)
             watch.alerted = True
             watch.terminated = True
             return None

@@ -16,10 +16,16 @@ this module provides that incremental path:
     :class:`~repro.detection.detector.OnTheWireDetector`: feed packets,
     collect alerts.
 
-Parsing re-scans a stream's reassembled buffer on each delivery, which
-is quadratic in the worst case for one giant connection; captures in the
-paper's regime (thousands of transactions across many connections) stay
-comfortably linear in practice.
+Decoding is incremental end to end: every connection owns a
+:class:`~repro.net.flows.StreamPairer` whose resumable HTTP parsers
+retain partial-message state between deliveries, reading each direction
+through the reassembler's consumable view (parse cursor + compaction of
+consumed bytes).  Each payload byte is therefore examined once and
+buffered only while its message is still incomplete, so the per-packet
+cost is O(bytes in the packet) and a whole capture costs O(total bytes)
+— even for one giant connection, where the previous implementation
+re-parsed the entire reassembled buffer on every delivery and blew up
+quadratically.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from repro.core.model import HttpTransaction
 from repro.detection.alerts import Alert
 from repro.detection.detector import OnTheWireDetector
 from repro.exceptions import HttpParseError
-from repro.net.flows import AddressBook, _pair_stream, _segments_of
+from repro.net.flows import AddressBook, StreamPairer, _segments_of
 from repro.net.pcap import LINKTYPE_ETHERNET, PcapPacket
 from repro.net.reassembly import FlowKey, TcpReassembler, TcpStream
 
@@ -43,8 +49,8 @@ class LiveDecoder:
         self.linktype = linktype
         self.book = book
         self._reassembler = TcpReassembler()
-        #: Per-connection count of transactions already emitted.
-        self._emitted: dict[FlowKey, int] = {}
+        #: Per-connection incremental pairing state machines.
+        self._pairers: dict[FlowKey, StreamPairer] = {}
         #: Connections whose payload is not HTTP (skip quietly).
         self._not_http: set[FlowKey] = set()
 
@@ -67,21 +73,16 @@ class LiveDecoder:
         key = stream.key
         if key in self._not_http or stream.client is None:
             return []
+        pairer = self._pairers.get(key)
+        if pairer is None:
+            pairer = self._pairers[key] = StreamPairer(stream, self.book)
         try:
-            transactions = _pair_stream(stream, self.book)
+            return pairer.poll(final=final)
         except HttpParseError:
+            # Transactions already emitted from the stream's well-formed
+            # prefix stand; the remainder is not HTTP.
             self._not_http.add(key)
             return []
-        already = self._emitted.get(key, 0)
-        if not final:
-            # Hold back transactions whose response has not arrived:
-            # they sit at the tail and may still complete.
-            while transactions and transactions[-1].response is None:
-                transactions = transactions[:-1]
-        fresh = transactions[already:]
-        if fresh:
-            self._emitted[key] = already + len(fresh)
-        return fresh
 
 
 class LiveDetector:

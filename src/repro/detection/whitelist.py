@@ -14,37 +14,41 @@ __all__ = ["VendorWhitelist"]
 
 
 class VendorWhitelist:
-    """Suffix-matching host whitelist.
+    """Domain-suffix host whitelist with O(labels) lookups.
 
     A host matches when it equals a whitelisted entry or is a subdomain
-    of one.  The default list covers the major OS/app-store/software
-    repositories the paper's deployment trusted.
+    of one; matching is on whole domain labels, so ``evil-google.com``
+    never matches ``google.com``.  Entries live in one deduplicated set
+    and each lookup probes only the host's own label suffixes, keeping
+    ``trusted()`` independent of whitelist size — the previous
+    implementation scanned every suffix entry per transaction and let
+    repeated ``add()`` calls grow that scan without bound.  The default
+    list covers the major OS/app-store/software repositories the paper's
+    deployment trusted.
     """
 
     def __init__(self, hosts: tuple[str, ...] | list[str] = TRUSTED_VENDORS):
-        self._exact: set[str] = set()
-        self._suffixes: list[str] = []
+        self._domains: set[str] = set()
         for host in hosts:
-            cleaned = host.lower().strip(".")
-            self._exact.add(cleaned)
-            self._suffixes.append("." + cleaned)
+            self.add(host)
 
     def add(self, host: str) -> None:
-        """Trust ``host`` (and its subdomains) from now on."""
+        """Trust ``host`` (and its subdomains) from now on; idempotent."""
         cleaned = host.lower().strip(".")
-        self._exact.add(cleaned)
-        self._suffixes.append("." + cleaned)
+        if cleaned:
+            self._domains.add(cleaned)
 
     def trusted(self, host: str) -> bool:
         """True when ``host`` is whitelisted."""
-        candidate = host.lower().strip(".")
-        if candidate in self._exact:
-            return True
-        return any(candidate.endswith(suffix) for suffix in self._suffixes)
+        labels = host.lower().strip(".").split(".")
+        return any(
+            ".".join(labels[start:]) in self._domains
+            for start in range(len(labels))
+        )
 
     def filter(self, transactions: list[HttpTransaction]) -> list[HttpTransaction]:
         """Drop transactions whose server is trusted."""
         return [txn for txn in transactions if not self.trusted(txn.server)]
 
     def __len__(self) -> int:
-        return len(self._exact)
+        return len(self._domains)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import zlib
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.model import (
@@ -27,8 +28,8 @@ from repro.exceptions import HttpParseError
 from repro.net.http1 import (
     RawHttpRequest,
     RawHttpResponse,
-    parse_requests,
-    parse_responses,
+    RequestParser,
+    ResponseParser,
     serialize_request,
     serialize_response,
 )
@@ -46,10 +47,11 @@ from repro.net.packets import (
     ETHERTYPE_IPV4,
 )
 from repro.net.pcap import LINKTYPE_ETHERNET, LINKTYPE_RAW_IP, PcapPacket
-from repro.net.reassembly import TcpReassembler, TcpStream
+from repro.net.reassembly import StreamDirection, TcpReassembler, TcpStream
 
 __all__ = [
     "AddressBook",
+    "StreamPairer",
     "transactions_from_packets",
     "packets_from_trace",
     "trace_from_packets",
@@ -113,69 +115,123 @@ def _segments_of(packets: list[PcapPacket], linktype: int):
         yield packet.timestamp, ip.src, ip.dst, segment
 
 
+class StreamPairer:
+    """Incremental request/response pairing for one reassembled stream.
+
+    Each :meth:`poll` pulls the bytes newly contiguous on either
+    direction through the resumable HTTP parsers (each byte is examined
+    once), pairs every freshly completed response with the oldest
+    unanswered request, and compacts the direction buffers behind the
+    parse cursors.  Requests the server has not answered yet stay queued
+    until their response lands or a ``final`` poll (connection close /
+    end of capture) flushes them unanswered — the hold-back bookkeeping
+    the old decoder recomputed by re-parsing is now just this queue.
+
+    The batch path (:func:`_pair_stream`) is a single ``poll(final=True)``
+    over a fully reassembled stream, so offline and live decoding share
+    one implementation and cannot disagree.
+
+    A :class:`HttpParseError` escaping :meth:`poll` means the stream is
+    not HTTP (TLS, P2P, corruption); callers should stop polling it.
+    """
+
+    def __init__(self, stream: TcpStream, book: AddressBook | None = None):
+        self.stream = stream
+        self.book = book
+        self._methods: list[str] = []
+        self._requests = RequestParser()
+        self._responses = ResponseParser(request_methods=self._methods,
+                                         await_methods=True)
+        self._unanswered: deque[HttpRequest] = deque()
+
+    def poll(self, final: bool = False) -> list[HttpTransaction]:
+        """Advance parsing; returns transactions completed since last poll."""
+        stream = self.stream
+        if stream.client is None:
+            return []
+        out: list[HttpTransaction] = []
+        client_state = stream.directions.get(stream.client)
+        server_state = None
+        for src, state in stream.directions.items():
+            if src != stream.client:
+                server_state = state
+        if client_state is not None:
+            raw_requests = self._requests.feed(client_state.take())
+            if final:
+                raw_requests.extend(self._requests.finish())
+            for raw_req in raw_requests:
+                self._methods.append(raw_req.method)
+                self._unanswered.append(
+                    self._build_request(raw_req, client_state)
+                )
+            client_state.compact(
+                keep_marks_from=self._requests.pending_offset
+            )
+        if server_state is not None:
+            raw_responses = self._responses.feed(server_state.take())
+            if final:
+                raw_responses.extend(self._responses.finish(closed=True))
+            for raw_res in raw_responses:
+                if not self._unanswered:
+                    break  # responses outrunning requests are dropped
+                request = self._unanswered.popleft()
+                response = self._build_response(raw_res, server_state, request)
+                out.append(HttpTransaction(request=request, response=response))
+            server_state.compact(
+                keep_marks_from=self._responses.pending_offset
+            )
+        if final:
+            while self._unanswered:
+                out.append(
+                    HttpTransaction(request=self._unanswered.popleft(),
+                                    response=None)
+                )
+        return out
+
+    def _build_request(self, raw_req: RawHttpRequest,
+                       client_state: StreamDirection) -> HttpRequest:
+        stream, book = self.stream, self.book
+        client_ip = stream.client[0]
+        host_header = raw_req.headers.get("Host")
+        server_ip = stream.server[0] if stream.server else ""
+        server_name = host_header or (book.host_of(server_ip) if book else server_ip)
+        client_name = book.host_of(client_ip) if book else client_ip
+        return HttpRequest(
+            method=HttpMethod.of(raw_req.method),
+            uri=raw_req.uri,
+            host=server_name.split(":", 1)[0],
+            client=client_name,
+            timestamp=client_state.timestamp_at(raw_req.offset),
+            headers=raw_req.headers,
+            body=raw_req.body,
+            version=raw_req.version,
+        )
+
+    def _build_response(self, raw_res: RawHttpResponse,
+                        server_state: StreamDirection,
+                        request: HttpRequest) -> HttpResponse:
+        return HttpResponse(
+            status=raw_res.status,
+            timestamp=max(server_state.timestamp_at(raw_res.offset),
+                          request.timestamp),
+            headers=raw_res.headers,
+            body=raw_res.body,
+            version=raw_res.version,
+        )
+
+
 def _pair_stream(
     stream: TcpStream,
     book: AddressBook | None,
 ) -> list[HttpTransaction]:
     """Parse one reassembled stream and pair requests with responses."""
-    if stream.client is None:
-        return []
-    client_ip = stream.client[0]
     try:
-        raw_requests = parse_requests(stream.client_data)
-        raw_responses = parse_responses(
-            stream.server_data,
-            closed=True,
-            request_methods=[r.method for r in raw_requests],
-        )
+        return StreamPairer(stream, book).poll(final=True)
     except HttpParseError:
         # Not an HTTP conversation (TLS, P2P, corruption): real captures
         # carry plenty of those; skip the stream rather than abort the
         # whole capture.
         return []
-    client_state = stream.directions.get(stream.client)
-    server_state = None
-    for src, state in stream.directions.items():
-        if src != stream.client:
-            server_state = state
-    transactions: list[HttpTransaction] = []
-    for index, raw_req in enumerate(raw_requests):
-        host_header = raw_req.headers.get("Host")
-        server_ip = stream.server[0] if stream.server else ""
-        server_name = host_header or (book.host_of(server_ip) if book else server_ip)
-        client_name = book.host_of(client_ip) if book else client_ip
-        req_ts = (
-            client_state.timestamp_at(raw_req.offset)
-            if client_state is not None
-            else 0.0
-        )
-        request = HttpRequest(
-            method=HttpMethod.of(raw_req.method),
-            uri=raw_req.uri,
-            host=server_name.split(":", 1)[0],
-            client=client_name,
-            timestamp=req_ts,
-            headers=raw_req.headers,
-            body=raw_req.body,
-            version=raw_req.version,
-        )
-        response = None
-        if index < len(raw_responses):
-            raw_res = raw_responses[index]
-            res_ts = (
-                server_state.timestamp_at(raw_res.offset)
-                if server_state is not None
-                else req_ts
-            )
-            response = HttpResponse(
-                status=raw_res.status,
-                timestamp=max(res_ts, request.timestamp),
-                headers=raw_res.headers,
-                body=raw_res.body,
-                version=raw_res.version,
-            )
-        transactions.append(HttpTransaction(request=request, response=response))
-    return transactions
 
 
 def transactions_from_packets(

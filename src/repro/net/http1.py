@@ -5,6 +5,15 @@ sequences (persistent connections supported), handling ``Content-Length``
 bodies, ``Transfer-Encoding: chunked``, and read-until-close responses.
 The serializer is the inverse, used when materializing synthetic traces
 into real pcap files.
+
+Parsing is *resumable*: :class:`RequestParser` and :class:`ResponseParser`
+retain partial-message state between :meth:`~RequestParser.feed` calls and
+examine each byte exactly once, so a live tap pays O(total bytes) per
+connection no matter how the bytes are sliced into deliveries.  The batch
+:func:`parse_requests` / :func:`parse_responses` entry points are thin
+wrappers over the same machinery (one ``feed`` of the whole buffer plus a
+``finish``), which keeps offline and on-the-wire decoding identical by
+construction.
 """
 
 from __future__ import annotations
@@ -17,6 +26,8 @@ from repro.exceptions import HttpParseError
 __all__ = [
     "RawHttpRequest",
     "RawHttpResponse",
+    "RequestParser",
+    "ResponseParser",
     "parse_requests",
     "parse_responses",
     "serialize_request",
@@ -74,37 +85,6 @@ def _split_headers(block: bytes) -> tuple[str, Headers]:
     return start, Headers(items)
 
 
-def _read_chunked(data: bytes, offset: int) -> tuple[bytes, int]:
-    """Decode a chunked body starting at ``offset``; returns (body, end)."""
-    body = bytearray()
-    pos = offset
-    while True:
-        line_end = data.find(_CRLF, pos)
-        if line_end < 0:
-            raise HttpParseError("truncated chunk size line")
-        size_token = data[pos:line_end].split(b";", 1)[0].strip()
-        try:
-            size = int(size_token, 16)
-        except ValueError as exc:
-            raise HttpParseError(f"bad chunk size: {size_token!r}") from exc
-        pos = line_end + 2
-        if size == 0:
-            # Skip trailers until the blank line.
-            trailer_end = data.find(_HEADER_END, pos - 2)
-            if data[pos : pos + 2] == _CRLF:
-                return bytes(body), pos + 2
-            if trailer_end < 0:
-                raise HttpParseError("truncated chunk trailers")
-            return bytes(body), trailer_end + 4
-        if len(data) < pos + size + 2:
-            raise HttpParseError("truncated chunk body")
-        body.extend(data[pos : pos + size])
-        pos += size
-        if data[pos : pos + 2] != _CRLF:
-            raise HttpParseError("missing chunk terminator")
-        pos += 2
-
-
 def _body_length(headers: Headers) -> int | None:
     """Declared body length, or None when unspecified."""
     declared = headers.get("Content-Length")
@@ -123,6 +103,361 @@ def _is_chunked(headers: Headers) -> bool:
     return "chunked" in headers.get("Transfer-Encoding", "").lower()
 
 
+class _IncrementalParser:
+    """Resumable framing machinery shared by both message directions.
+
+    The parser buffers only the not-yet-framed tail of the stream (at
+    most the current partial message): framed bytes are deleted as the
+    cursor advances, and repeated ``find`` scans restart from where the
+    previous delivery stopped.  Malformed-content errors (bad start
+    line, bad chunk size, ...) raise :class:`HttpParseError` as soon as
+    the offending bytes arrive; truncation conditions merely pause the
+    parser until more bytes are fed or :meth:`finish` declares the end
+    of the stream.
+    """
+
+    _kind = "message"
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        #: Absolute stream offset of ``_buf[0]``.
+        self._base = 0
+        #: Buffer-relative restart hint for delimiter scans.
+        self._scan = 0
+        self._state = "headers"
+        #: Absolute stream offset where the current message starts.
+        self._msg_offset = 0
+        self._body = bytearray()
+        self._need = 0
+        self._chunk_remaining = 0
+        self._finishing = False
+        self._done = False
+
+    @property
+    def pending_offset(self) -> int:
+        """Absolute stream offset of the current (partial) message.
+
+        Everything before this offset has been fully framed; callers may
+        discard earlier per-offset bookkeeping (e.g. timestamp marks).
+        """
+        return self._msg_offset
+
+    # -- byte plumbing ------------------------------------------------------
+
+    def _consume(self, count: int) -> None:
+        del self._buf[:count]
+        self._base += count
+        self._scan = 0
+
+    def feed(self, data: bytes) -> list:
+        """Ingest ``data``; returns the messages it completed."""
+        if self._done:
+            if data:
+                raise HttpParseError(f"data after {self._kind} stream end")
+            return []
+        if data:
+            self._buf += data
+        out: list = []
+        while self._step(out):
+            pass
+        return out
+
+    def _terminate(self) -> None:
+        """Raise the batch-identical truncation error for a cut-off tail."""
+        state = self._state
+        if state == "chunk-size":
+            raise HttpParseError("truncated chunk size line")
+        if state in ("chunk-data", "chunk-term"):
+            raise HttpParseError("truncated chunk body")
+        if state == "chunk-trailers":
+            raise HttpParseError("truncated chunk trailers")
+        # "headers" / "body" / "body-close": a trailing message cut off
+        # by capture truncation is silently dropped.
+
+    def _finish(self) -> list:
+        """Declare end-of-stream; returns messages completable at EOF."""
+        if self._done:
+            return []
+        self._finishing = True
+        out: list = []
+        while self._step(out):
+            pass
+        self._done = True
+        self._terminate()
+        return out
+
+    # -- state machine ------------------------------------------------------
+
+    def _step(self, out: list) -> bool:
+        state = self._state
+        if state == "headers":
+            return self._step_headers(out)
+        if state == "body":
+            return self._step_body(out)
+        if state == "chunk-size":
+            return self._step_chunk_size()
+        if state == "chunk-data":
+            return self._step_chunk_data()
+        if state == "chunk-term":
+            return self._step_chunk_term()
+        if state == "chunk-trailers":
+            return self._step_chunk_trailers(out)
+        return self._step_extra(out)
+
+    def _step_headers(self, out: list) -> bool:
+        if not self._buf:
+            return False
+        self._msg_offset = self._base
+        end = self._buf.find(_HEADER_END, self._scan)
+        if end < 0:
+            if len(self._buf) > _MAX_HEADER_BYTES:
+                raise HttpParseError(f"unterminated {self._kind} header block")
+            self._scan = max(0, len(self._buf) - 3)
+            return False
+        block = bytes(self._buf[:end])
+        self._consume(end + 4)
+        start, headers = _split_headers(block)
+        return self._begin_message(start, headers, out)
+
+    def _begin_message(self, start: str, headers: Headers, out: list) -> bool:
+        raise NotImplementedError
+
+    def _step_extra(self, out: list) -> bool:
+        raise HttpParseError(f"corrupt {self._kind} parser state: {self._state}")
+
+    def _step_body(self, out: list) -> bool:
+        take = min(len(self._buf), self._need)
+        if take:
+            self._body += self._buf[:take]
+            self._consume(take)
+            self._need -= take
+        if self._need:
+            return False
+        self._emit(bytes(self._body), out)
+        return True
+
+    def _step_chunk_size(self) -> bool:
+        line_end = self._buf.find(_CRLF, self._scan)
+        if line_end < 0:
+            self._scan = max(0, len(self._buf) - 1)
+            return False
+        size_token = bytes(self._buf[:line_end]).split(b";", 1)[0].strip()
+        try:
+            size = int(size_token, 16)
+        except ValueError as exc:
+            raise HttpParseError(f"bad chunk size: {size_token!r}") from exc
+        if size == 0:
+            # Keep the size line's CRLF: the trailer scan below starts at
+            # it so an immediately-following blank line is recognized.
+            self._consume(line_end)
+            self._state = "chunk-trailers"
+            return True
+        self._consume(line_end + 2)
+        self._chunk_remaining = size
+        self._state = "chunk-data"
+        return True
+
+    def _step_chunk_data(self) -> bool:
+        take = min(len(self._buf), self._chunk_remaining)
+        if take:
+            self._body += self._buf[:take]
+            self._consume(take)
+            self._chunk_remaining -= take
+        if self._chunk_remaining:
+            return False
+        self._state = "chunk-term"
+        return True
+
+    def _step_chunk_term(self) -> bool:
+        if len(self._buf) < 2:
+            return False
+        if self._buf[:2] != _CRLF:
+            raise HttpParseError("missing chunk terminator")
+        self._consume(2)
+        self._state = "chunk-size"
+        return True
+
+    def _step_chunk_trailers(self, out: list) -> bool:
+        # _buf[0:2] is the CRLF that closed the zero-size line.
+        if len(self._buf) >= 4 and self._buf[2:4] == _CRLF:
+            self._consume(4)
+            self._emit(bytes(self._body), out)
+            return True
+        end = self._buf.find(_HEADER_END, self._scan)
+        if end >= 0:
+            self._consume(end + 4)
+            self._emit(bytes(self._body), out)
+            return True
+        self._scan = max(0, len(self._buf) - 3)
+        return False
+
+    def _emit(self, body: bytes, out: list) -> None:
+        raise NotImplementedError
+
+
+class RequestParser(_IncrementalParser):
+    """Incremental client-direction parser: feed bytes, get requests.
+
+    ``feed()`` returns the :class:`RawHttpRequest` messages completed by
+    the delivered bytes; :meth:`finish` declares end-of-stream, raising
+    for a stream cut off inside a chunked body (as the batch parser
+    does) and silently dropping a truncated trailing message.
+    """
+
+    _kind = "request"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: RawHttpRequest | None = None
+
+    def _begin_message(self, start: str, headers: Headers, out: list) -> bool:
+        parts = start.split(" ", 2)
+        if len(parts) < 3 or not parts[2].startswith("HTTP/"):
+            raise HttpParseError(f"bad request line: {start!r}")
+        method, uri, version = parts
+        self._pending = RawHttpRequest(method, uri, version, headers, b"",
+                                       offset=self._msg_offset)
+        self._body = bytearray()
+        if _is_chunked(headers):
+            self._state = "chunk-size"
+            return True
+        length = _body_length(headers) or 0
+        if length == 0:
+            self._emit(b"", out)
+            return True
+        self._state = "body"
+        self._need = length
+        return True
+
+    def _emit(self, body: bytes, out: list) -> None:
+        message = self._pending
+        message.body = body
+        out.append(message)
+        self._pending = None
+        self._state = "headers"
+        self._msg_offset = self._base
+
+    def finish(self) -> list[RawHttpRequest]:
+        """End of the client stream; idempotent."""
+        return self._finish()
+
+
+class ResponseParser(_IncrementalParser):
+    """Incremental server-direction parser: feed bytes, get responses.
+
+    ``request_methods`` is consulted positionally to frame each response
+    (a ``HEAD`` response carries no body bytes whatever its
+    ``Content-Length`` says, RFC 9110 §9.3.2).  The list may be shared
+    with a request parser and grow between deliveries; with
+    ``await_methods=True`` the parser pauses rather than guess when a
+    response outruns the requests seen so far.  A response with neither
+    ``Content-Length`` nor chunking is held until :meth:`finish`
+    resolves whether the connection closed (read-until-close) or the
+    capture was merely truncated.
+    """
+
+    _kind = "response"
+
+    def __init__(self, request_methods: list[str] | None = None,
+                 await_methods: bool = False) -> None:
+        super().__init__()
+        self._pending: RawHttpResponse | None = None
+        self._methods = request_methods
+        self._await = await_methods
+        self._count = 0
+        self._closed = False
+
+    def _begin_message(self, start: str, headers: Headers, out: list) -> bool:
+        parts = start.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise HttpParseError(f"bad status line: {start!r}")
+        version = parts[0]
+        try:
+            status = int(parts[1])
+        except ValueError as exc:
+            raise HttpParseError(f"bad status code: {parts[1]!r}") from exc
+        reason = parts[2] if len(parts) > 2 else ""
+        self._pending = RawHttpResponse(version, status, reason, headers, b"",
+                                        offset=self._msg_offset)
+        self._body = bytearray()
+        self._state = "frame"
+        return True
+
+    def _step_extra(self, out: list) -> bool:
+        if self._state == "frame":
+            return self._step_frame(out)
+        if self._state == "body-close":
+            return self._step_body_close(out)
+        return super()._step_extra(out)
+
+    def _step_frame(self, out: list) -> bool:
+        """Pick the body framing, which may need the request's method."""
+        if self._methods and self._count < len(self._methods):
+            method = self._methods[self._count]
+        else:
+            if self._await and not self._finishing:
+                return False  # the eliciting request has not parsed yet
+            method = ""
+        if method == "HEAD":
+            self._emit(b"", out)
+            return True
+        headers = self._pending.headers
+        if _is_chunked(headers):
+            self._state = "chunk-size"
+            return True
+        length = _body_length(headers)
+        if length is None:
+            status = self._pending.status
+            if status < 200 or status in (204, 304):
+                self._emit(b"", out)
+                return True
+            self._state = "body-close"
+            return True
+        if length == 0:
+            self._emit(b"", out)
+            return True
+        self._state = "body"
+        self._need = length
+        return True
+
+    def _step_body_close(self, out: list) -> bool:
+        if self._buf:
+            self._body += self._buf
+            self._consume(len(self._buf))
+        if self._finishing and self._closed:
+            self._emit(bytes(self._body), out)
+            return True
+        return False  # cannot delimit until the connection closes
+
+    def _terminate(self) -> None:
+        if self._state == "frame":
+            # Method never resolved (more responses than requests): the
+            # batch parser frames with an empty method, which _step_frame
+            # already did under _finishing — reaching here means the
+            # framed body was then truncated and dropped.
+            return
+        super()._terminate()
+
+    def _emit(self, body: bytes, out: list) -> None:
+        message = self._pending
+        message.body = body
+        out.append(message)
+        self._pending = None
+        self._count += 1
+        self._state = "headers"
+        self._msg_offset = self._base
+
+    def finish(self, closed: bool = True) -> list[RawHttpResponse]:
+        """End of the server stream; idempotent.
+
+        ``closed`` marks a real connection teardown: a pending
+        read-until-close body is then emitted; otherwise (capture
+        truncation) it is dropped, matching the batch parser.
+        """
+        self._closed = closed
+        return self._finish()
+
+
 def parse_requests(data: bytes) -> list[RawHttpRequest]:
     """Parse a client-direction byte stream into pipelined requests.
 
@@ -130,33 +465,9 @@ def parse_requests(data: bytes) -> list[RawHttpRequest]:
     silently dropped; a malformed *leading* message raises
     :class:`HttpParseError`.
     """
-    requests: list[RawHttpRequest] = []
-    pos = 0
-    while pos < len(data):
-        message_start = pos
-        header_end = data.find(_HEADER_END, pos)
-        if header_end < 0:
-            if len(data) - pos > _MAX_HEADER_BYTES:
-                raise HttpParseError("unterminated request header block")
-            break  # truncated trailing message
-        start, headers = _split_headers(data[pos:header_end])
-        parts = start.split(" ", 2)
-        if len(parts) < 3 or not parts[2].startswith("HTTP/"):
-            raise HttpParseError(f"bad request line: {start!r}")
-        method, uri, version = parts
-        body_start = header_end + 4
-        if _is_chunked(headers):
-            body, pos = _read_chunked(data, body_start)
-        else:
-            length = _body_length(headers) or 0
-            if len(data) < body_start + length:
-                break  # truncated trailing body
-            body = data[body_start : body_start + length]
-            pos = body_start + length
-        requests.append(
-            RawHttpRequest(method, uri, version, headers, body,
-                           offset=message_start)
-        )
+    parser = RequestParser()
+    requests = parser.feed(data)
+    requests.extend(parser.finish())
     return requests
 
 
@@ -176,58 +487,9 @@ def parse_responses(
     ``Content-Length`` says (RFC 9110 §9.3.2) — without this the framing
     of every later response on the connection would shift.
     """
-    responses: list[RawHttpResponse] = []
-    pos = 0
-    while pos < len(data):
-        message_start = pos
-        header_end = data.find(_HEADER_END, pos)
-        if header_end < 0:
-            if len(data) - pos > _MAX_HEADER_BYTES:
-                raise HttpParseError("unterminated response header block")
-            break
-        start, headers = _split_headers(data[pos:header_end])
-        parts = start.split(" ", 2)
-        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
-            raise HttpParseError(f"bad status line: {start!r}")
-        version = parts[0]
-        try:
-            status = int(parts[1])
-        except ValueError as exc:
-            raise HttpParseError(f"bad status code: {parts[1]!r}") from exc
-        reason = parts[2] if len(parts) > 2 else ""
-        body_start = header_end + 4
-        method = (
-            request_methods[len(responses)]
-            if request_methods and len(responses) < len(request_methods)
-            else ""
-        )
-        if method == "HEAD":
-            responses.append(
-                RawHttpResponse(version, status, reason, headers, b"",
-                                offset=message_start)
-            )
-            pos = body_start
-            continue
-        if _is_chunked(headers):
-            body, pos = _read_chunked(data, body_start)
-        else:
-            length = _body_length(headers)
-            if length is None:
-                if status < 200 or status in (204, 304):
-                    body, pos = b"", body_start
-                elif closed:
-                    body, pos = data[body_start:], len(data)
-                else:
-                    break  # cannot delimit yet
-            else:
-                if len(data) < body_start + length:
-                    break
-                body = data[body_start : body_start + length]
-                pos = body_start + length
-        responses.append(
-            RawHttpResponse(version, status, reason, headers, body,
-                            offset=message_start)
-        )
+    parser = ResponseParser(request_methods=request_methods)
+    responses = parser.feed(data)
+    responses.extend(parser.finish(closed=closed))
     return responses
 
 

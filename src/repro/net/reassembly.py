@@ -10,6 +10,7 @@ PCAP corpus.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.exceptions import TcpReassemblyError
@@ -45,7 +46,18 @@ class FlowKey:
 
 @dataclass
 class StreamDirection:
-    """Reassembly state for one direction of a connection."""
+    """Reassembly state for one direction of a connection.
+
+    Besides the append side (``feed``), the direction exposes a
+    *consumable read view* for incremental consumers: :meth:`take`
+    returns the contiguous bytes not yet handed out and advances a parse
+    cursor, and :meth:`compact` discards the consumed prefix from the
+    buffer so a long-lived connection holds O(unparsed tail) memory
+    instead of its whole history.  Offsets (``marks``, ``timestamp_at``,
+    the cursor) are *absolute* stream positions and stay valid across
+    compaction.  Batch consumers that never ``take`` see the full stream
+    in ``data``, exactly as before.
+    """
 
     src: tuple[str, int]
     dst: tuple[str, int]
@@ -55,24 +67,62 @@ class StreamDirection:
     fin_seen: bool = False
     first_ts: float | None = None
     last_ts: float | None = None
-    #: (stream byte offset, arrival timestamp) marks for contiguous data,
-    #: letting the HTTP layer recover per-message timestamps.
+    #: (absolute stream byte offset, arrival timestamp) marks for
+    #: contiguous data, letting the HTTP layer recover per-message
+    #: timestamps.
     marks: list[tuple[int, float]] = field(default_factory=list)
+    #: Absolute stream offset of ``data[0]`` (> 0 once compacted).
+    base: int = 0
+    #: Absolute stream offset of the parse cursor: bytes before it have
+    #: been handed to a consumer via :meth:`take`.
+    consumed: int = 0
 
     def timestamp_at(self, offset: int) -> float:
         """Arrival time of the segment containing stream ``offset``."""
-        chosen = self.first_ts or 0.0
-        for mark_offset, mark_ts in self.marks:
-            if mark_offset <= offset:
-                chosen = mark_ts
-            else:
-                break
-        return chosen
+        index = bisect.bisect_right(self.marks, (offset, float("inf")))
+        if index:
+            return self.marks[index - 1][1]
+        # Compare against None: a capture legitimately starting at the
+        # epoch has first_ts == 0.0, which is not "missing".
+        return self.first_ts if self.first_ts is not None else 0.0
+
+    @property
+    def end_offset(self) -> int:
+        """Absolute stream offset one past the last contiguous byte."""
+        return self.base + len(self.data)
+
+    def take(self) -> bytes:
+        """Return contiguous bytes past the cursor and advance it."""
+        start = self.consumed - self.base
+        if start >= len(self.data):
+            return b""
+        chunk = bytes(self.data[start:])
+        self.consumed = self.end_offset
+        return chunk
+
+    def compact(self, keep_marks_from: int | None = None) -> None:
+        """Drop already-consumed bytes (and stale marks) from the buffer.
+
+        ``keep_marks_from`` preserves timestamp marks at or above that
+        absolute offset (plus the one straddling it) so a consumer can
+        still resolve ``timestamp_at`` for a partially-delivered message
+        whose start it has already buffered elsewhere.
+        """
+        cut = self.consumed - self.base
+        if cut > 0:
+            del self.data[:cut]
+            self.base = self.consumed
+        floor = self.consumed
+        if keep_marks_from is not None:
+            floor = min(floor, keep_marks_from)
+        index = bisect.bisect_right(self.marks, (floor, float("inf"))) - 1
+        if index > 0:
+            del self.marks[:index]
 
     def _drain_pending(self, timestamp: float) -> None:
         while self.next_seq in self.pending:
             chunk = self.pending.pop(self.next_seq)
-            self.marks.append((len(self.data), timestamp))
+            self.marks.append((self.end_offset, timestamp))
             self.data.extend(chunk)
             self.next_seq = (self.next_seq + len(chunk)) % _SEQ_MOD
 
@@ -96,7 +146,7 @@ class StreamDirection:
             payload = payload[behind:]
             delta = 0
         if delta == 0:
-            self.marks.append((len(self.data), timestamp))
+            self.marks.append((self.end_offset, timestamp))
             self.data.extend(payload)
             self.next_seq = (self.next_seq + len(payload)) % _SEQ_MOD
             self._drain_pending(timestamp)
@@ -135,7 +185,11 @@ class TcpStream:
 
     @property
     def client_data(self) -> bytes:
-        """Bytes sent by the connection initiator (requests)."""
+        """Retained bytes sent by the connection initiator (requests).
+
+        This is the full stream unless an incremental consumer has
+        compacted the direction via its read view.
+        """
         if self.client is None:
             return b""
         state = self.directions.get(self.client)

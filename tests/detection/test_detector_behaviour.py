@@ -58,6 +58,37 @@ class TestAlertCooldown:
         detector.finalize()
         assert len(detector.alerts) == 2
 
+    def test_skewed_clock_stays_in_cooldown(self, trained_model):
+        # A second fragment of the same incident arriving with *earlier*
+        # timestamps (skewed capture clock / out-of-order delivery) must
+        # not page twice: the old `0 <= now - last` guard silently
+        # disabled the cooldown whenever the delta went negative.
+        detector = OnTheWireDetector(
+            trained_model,
+            config=DetectorConfig(alert_cooldown=300.0, alert_threshold=0.2),
+        )
+        stream = _infection_burst("one", 1000.0)
+        # Same client, second burst stamped 10 minutes in the past.
+        stream += _infection_burst("two", 400.0)
+        detector.process_stream(stream)  # delivery order, not time order
+        detector.finalize()
+        assert len(detector.alerts) == 1
+
+    def test_skewed_clock_keeps_monotonic_window(self, trained_model):
+        # After a skewed fragment is suppressed, the cooldown window
+        # still anchors at the *latest* alert time: a third burst well
+        # past the original alert pages again.
+        detector = OnTheWireDetector(
+            trained_model,
+            config=DetectorConfig(alert_cooldown=300.0, alert_threshold=0.2),
+        )
+        stream = _infection_burst("one", 1000.0)
+        stream += _infection_burst("two", 400.0)     # suppressed
+        stream += _infection_burst("three", 1500.0)  # new incident
+        detector.process_stream(stream)
+        detector.finalize()
+        assert len(detector.alerts) == 2
+
     def test_cooldown_is_per_client(self, trained_model):
         detector = OnTheWireDetector(
             trained_model,

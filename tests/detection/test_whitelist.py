@@ -41,6 +41,27 @@ class TestVendorWhitelist:
         kept = whitelist.filter(txns)
         assert [t.server for t in kept] == ["evil.pw"]
 
+    def test_add_deduplicates(self):
+        # Repeated add() must not grow the matching state unboundedly.
+        whitelist = VendorWhitelist([])
+        for _ in range(100):
+            whitelist.add("corp.example")
+            whitelist.add("CORP.EXAMPLE.")
+        assert len(whitelist) == 1
+        assert whitelist.trusted("files.corp.example")
+
+    def test_label_boundary_matching(self):
+        whitelist = VendorWhitelist(["google.com"])
+        assert whitelist.trusted("dl.google.com")
+        assert not whitelist.trusted("evil-google.com")
+        assert not whitelist.trusted("google.com.attacker.pw")
+
+    def test_empty_host_untrusted(self):
+        whitelist = VendorWhitelist(["example.com"])
+        assert not whitelist.trusted("")
+        whitelist.add("")  # no-op, not a match-everything entry
+        assert not whitelist.trusted("anything.net")
+
     def test_default_list_covers_vendors(self):
         whitelist = VendorWhitelist()
         assert whitelist.trusted("download.microsoft.com")

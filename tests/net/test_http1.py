@@ -9,6 +9,8 @@ from repro.exceptions import HttpParseError
 from repro.net.http1 import (
     RawHttpRequest,
     RawHttpResponse,
+    RequestParser,
+    ResponseParser,
     parse_requests,
     parse_responses,
     serialize_request,
@@ -205,6 +207,141 @@ class TestSerializeRoundTrip:
         parsed_response = parse_responses(serialize_response(response))[0]
         assert parsed_response.status == status
         assert parsed_response.body == body
+
+
+def _chop(data: bytes, cuts: list[int]) -> list[bytes]:
+    """Split ``data`` at the given (sorted, de-duplicated) positions."""
+    positions = sorted({min(c % (len(data) + 1), len(data)) for c in cuts})
+    pieces, previous = [], 0
+    for position in positions + [len(data)]:
+        pieces.append(data[previous:position])
+        previous = position
+    return pieces
+
+
+_REQUEST_WIRE = (
+    b"GET /one HTTP/1.1\r\nHost: a.com\r\n\r\n"
+    b"POST /two HTTP/1.1\r\nHost: a.com\r\nContent-Length: 11\r\n\r\n"
+    b"hello world"
+    b"POST /three HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+    b"5\r\nhello\r\n7;ext=1\r\n world!\r\n0\r\nX-Trailer: v\r\n\r\n"
+    b"GET /four HTTP/1.1\r\nHost: a.com\r\n\r\n"
+)
+
+_RESPONSE_WIRE = (
+    b"HTTP/1.1 200 OK\r\nContent-Length: 5000\r\n\r\n"          # HEAD
+    b"HTTP/1.1 302 Found\r\nLocation: http://x/\r\n"
+    b"Content-Length: 0\r\n\r\n"
+    b"HTTP/1.1 204 No Content\r\n\r\n"
+    b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+    b"4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\n"
+    b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\r\n"
+    b"read until close"
+)
+_RESPONSE_METHODS = ["HEAD", "GET", "GET", "GET", "GET"]
+
+
+class TestIncrementalParsers:
+    """The resumable parsers match the batch functions byte for byte,
+    however the stream is sliced into deliveries."""
+
+    def test_byte_at_a_time_requests(self):
+        batch = parse_requests(_REQUEST_WIRE)
+        parser = RequestParser()
+        incremental = []
+        for index in range(len(_REQUEST_WIRE)):
+            incremental.extend(parser.feed(_REQUEST_WIRE[index:index + 1]))
+        incremental.extend(parser.finish())
+        assert incremental == batch
+        assert [r.uri for r in incremental] == ["/one", "/two", "/three",
+                                                "/four"]
+        assert incremental[2].body == b"hello world!"
+
+    def test_byte_at_a_time_responses(self):
+        batch = parse_responses(_RESPONSE_WIRE, closed=True,
+                                request_methods=_RESPONSE_METHODS)
+        parser = ResponseParser(request_methods=_RESPONSE_METHODS)
+        incremental = []
+        for index in range(len(_RESPONSE_WIRE)):
+            incremental.extend(parser.feed(_RESPONSE_WIRE[index:index + 1]))
+        incremental.extend(parser.finish(closed=True))
+        assert incremental == batch
+        assert [r.status for r in incremental] == [200, 302, 204, 200, 200]
+        assert incremental[0].body == b""          # HEAD: no body bytes
+        assert incremental[3].body == b"wikipedia"
+        assert incremental[4].body == b"read until close"
+
+    def test_partial_state_survives_between_feeds(self):
+        parser = RequestParser()
+        assert parser.feed(b"POST /p HTTP/1.1\r\nContent-Le") == []
+        assert parser.feed(b"ngth: 5\r\n\r\nhel") == []
+        done = parser.feed(b"lo")
+        assert len(done) == 1
+        assert done[0].body == b"hello"
+        assert done[0].offset == 0
+
+    def test_offsets_are_stream_absolute(self):
+        wire = (b"GET /1 HTTP/1.1\r\nHost: a\r\n\r\n"
+                b"GET /2 HTTP/1.1\r\nHost: a\r\n\r\n")
+        parser = RequestParser()
+        first = parser.feed(wire[:30])
+        second = parser.feed(wire[30:]) + parser.finish()
+        offsets = [r.offset for r in first + second]
+        assert offsets == [r.offset for r in parse_requests(wire)]
+
+    def test_read_until_close_deferred_without_close(self):
+        parser = ResponseParser()
+        pending = parser.feed(b"HTTP/1.1 200 OK\r\n\r\npartial body")
+        assert pending == []
+        assert parser.finish(closed=False) == []
+
+    def test_await_methods_pauses_until_request_known(self):
+        methods: list[str] = []
+        parser = ResponseParser(request_methods=methods, await_methods=True)
+        wire = (b"HTTP/1.1 200 OK\r\nContent-Length: 5000\r\n\r\n"
+                b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+        assert parser.feed(wire) == []  # no request parsed yet: hold
+        methods.extend(["HEAD", "GET"])
+        done = parser.feed(b"")
+        assert [r.body for r in done] == [b"", b"ok"]
+
+    def test_feed_after_finish_rejects_data(self):
+        parser = RequestParser()
+        parser.finish()
+        assert parser.feed(b"") == []
+        assert parser.finish() == []  # idempotent
+        with pytest.raises(HttpParseError, match="stream end"):
+            parser.feed(b"GET / HTTP/1.1\r\n\r\n")
+
+    def test_truncated_chunk_raises_only_at_finish(self):
+        parser = ResponseParser()
+        assert parser.feed(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nff\r\nsho"
+        ) == []
+        with pytest.raises(HttpParseError, match="truncated chunk body"):
+            parser.finish()
+
+    @settings(max_examples=60, deadline=None)
+    @given(cuts=st.lists(st.integers(0, 10**6), max_size=12))
+    def test_any_request_slicing_matches_batch(self, cuts):
+        parser = RequestParser()
+        incremental = []
+        for piece in _chop(_REQUEST_WIRE, cuts):
+            incremental.extend(parser.feed(piece))
+        incremental.extend(parser.finish())
+        assert incremental == parse_requests(_REQUEST_WIRE)
+
+    @settings(max_examples=60, deadline=None)
+    @given(cuts=st.lists(st.integers(0, 10**6), max_size=12))
+    def test_any_response_slicing_matches_batch(self, cuts):
+        parser = ResponseParser(request_methods=_RESPONSE_METHODS)
+        incremental = []
+        for piece in _chop(_RESPONSE_WIRE, cuts):
+            incremental.extend(parser.feed(piece))
+        incremental.extend(parser.finish(closed=True))
+        assert incremental == parse_responses(
+            _RESPONSE_WIRE, closed=True, request_methods=_RESPONSE_METHODS
+        )
 
 
 class TestHeadResponses:

@@ -158,6 +158,75 @@ class TestSequenceWraparound:
                 )
 
 
+class TestTimestampAt:
+    def test_epoch_zero_capture_not_treated_as_missing(self):
+        # A capture clock starting at the epoch is a legitimate
+        # timestamp; timestamp_at must not fall back as if unset.
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.feed(0, b"", 0.0)  # pure-ACK at t=0 pins first_ts
+        assert direction.first_ts == 0.0
+        assert direction.timestamp_at(0) == 0.0
+        direction.feed(0, b"GET", 7.5)
+        assert direction.timestamp_at(0) == 7.5
+
+    def test_marks_resolve_per_segment(self):
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 0
+        direction.feed(0, b"aaaa", 1.0)
+        direction.feed(4, b"bbbb", 2.0)
+        assert direction.timestamp_at(0) == 1.0
+        assert direction.timestamp_at(3) == 1.0
+        assert direction.timestamp_at(4) == 2.0
+        assert direction.timestamp_at(7) == 2.0
+
+
+class TestConsumableView:
+    def _loaded(self):
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 0
+        direction.feed(0, b"first", 1.0)
+        direction.feed(5, b"second", 2.0)
+        return direction
+
+    def test_take_advances_cursor(self):
+        direction = self._loaded()
+        assert direction.take() == b"firstsecond"
+        assert direction.take() == b""
+        direction.feed(11, b"third", 3.0)
+        assert direction.take() == b"third"
+
+    def test_compact_discards_consumed_prefix(self):
+        direction = self._loaded()
+        direction.take()
+        direction.compact()
+        assert direction.data == bytearray()
+        assert direction.base == 11
+        direction.feed(11, b"third", 3.0)
+        assert direction.take() == b"third"
+        assert direction.end_offset == 16
+
+    def test_offsets_stay_absolute_across_compaction(self):
+        direction = self._loaded()
+        direction.take()
+        direction.compact(keep_marks_from=5)
+        # The mark covering offset 5 (and beyond) must survive.
+        assert direction.timestamp_at(5) == 2.0
+        assert direction.timestamp_at(10) == 2.0
+        direction.feed(11, b"third", 3.0)
+        assert direction.timestamp_at(11) == 3.0
+
+    def test_compact_keeps_straddling_mark(self):
+        direction = self._loaded()
+        direction.take()
+        direction.compact(keep_marks_from=7)  # mid-"second"
+        assert direction.timestamp_at(7) == 2.0
+
+    def test_batch_consumers_unaffected(self):
+        direction = self._loaded()
+        assert bytes(direction.data) == b"firstsecond"
+        assert direction.base == 0
+
+
 class TestReassemblyProperty:
     @settings(max_examples=40, deadline=None)
     @given(
