@@ -66,6 +66,10 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.context import set_default_n_jobs
+
+    if args.n_jobs is not None:
+        set_default_n_jobs(args.n_jobs)
     if args.experiment == "all":
         names = list(EXPERIMENTS)
     elif args.experiment in EXPERIMENTS:
@@ -92,11 +96,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"  {len(corpus.benign)} benign + {len(corpus.infections)} "
           f"infection traces")
     print("extracting WCG features (full traces + clue-time prefixes) ...")
-    X, y = training_matrix(corpus.traces, augment_prefixes=True)
+    X, y = training_matrix(corpus.traces, augment_prefixes=True,
+                           n_jobs=args.n_jobs)
     print(f"  {X.shape[0]} training vectors x {X.shape[1]} features")
     print("training the Ensemble Random Forest (Nt=20, Nf=log2+1) ...")
     model = EnsembleRandomForest(n_trees=20, random_state=args.seed)
-    model.fit(X, y)
+    model.fit(X, y, n_jobs=args.n_jobs)
     save_forest(model, args.out)
     print(f"model written to {args.out}")
     return 0
@@ -179,6 +184,13 @@ def main(argv: list[str] | None = None) -> int:
                             help="experiment id (see `list`) or 'all'")
     run_parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     run_parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    run_parser.add_argument(
+        "--n-jobs", type=int, default=None, dest="n_jobs",
+        help="worker processes for feature extraction, forest fitting and"
+             " cross-validation (default 1; -1 = all cores). Results are"
+             " byte-identical for any value: all per-tree/per-fold seeds"
+             " derive from --seed before any work is scheduled.",
+    )
 
     train_parser = subparsers.add_parser(
         "train", help="train a classifier and save it as JSON"
@@ -186,6 +198,12 @@ def main(argv: list[str] | None = None) -> int:
     train_parser.add_argument("--out", default="dynaminer-model.json")
     train_parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     train_parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    train_parser.add_argument(
+        "--n-jobs", type=int, default=None, dest="n_jobs",
+        help="worker processes for feature extraction and tree fitting"
+             " (default 1; -1 = all cores). The saved model is"
+             " byte-identical for any value.",
+    )
 
     detect_parser = subparsers.add_parser(
         "detect", help="replay a pcap through the on-the-wire detector"

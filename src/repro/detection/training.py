@@ -16,8 +16,9 @@ import numpy as np
 
 from repro.core.model import Trace
 from repro.core.payloads import is_downloadable
-from repro.features.extractor import FeatureExtractor
+from repro.features.extractor import extract_trace_features
 from repro.features.registry import NUM_FEATURES
+from repro.parallel import parallel_map
 
 __all__ = ["clue_time_prefix", "training_matrix"]
 
@@ -53,22 +54,27 @@ def clue_time_prefix(trace: Trace) -> Trace | None:
 def training_matrix(
     traces: list[Trace],
     augment_prefixes: bool = True,
+    n_jobs: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """(X, y) over full traces plus (optionally) clue-time prefixes."""
-    extractor = FeatureExtractor()
-    rows: list[np.ndarray] = []
+    """(X, y) over full traces plus (optionally) clue-time prefixes.
+
+    ``n_jobs`` fans per-trace feature extraction out over a process pool
+    (``-1`` = all cores); the row order is unaffected.
+    """
+    expanded: list[Trace] = []
     labels: list[float] = []
     for trace in traces:
         if trace.label is None:
             continue
         label = 1.0 if trace.is_infection else 0.0
-        rows.append(extractor.extract_trace(trace))
+        expanded.append(trace)
         labels.append(label)
         if augment_prefixes:
             prefix = clue_time_prefix(trace)
             if prefix is not None:
-                rows.append(extractor.extract_trace(prefix))
+                expanded.append(prefix)
                 labels.append(label)
-    if not rows:
+    if not expanded:
         return np.empty((0, NUM_FEATURES)), np.empty(0)
+    rows = parallel_map(extract_trace_features, expanded, n_jobs=n_jobs)
     return np.vstack(rows), np.array(labels)

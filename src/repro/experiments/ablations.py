@@ -8,6 +8,8 @@
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.analytics.report import format_table
@@ -18,6 +20,7 @@ from repro.experiments.context import (
     DEFAULT_SCALE,
     DEFAULT_SEED,
     cached_features,
+    default_n_jobs,
     trained_classifier,
 )
 from repro.learning.crossval import cross_validate
@@ -29,7 +32,8 @@ __all__ = ["run_voting", "run_forest_sweep", "run_threshold_sweep",
 
 
 def run_voting(seed: int = DEFAULT_SEED,
-               scale: float = DEFAULT_SCALE, k: int = 10) -> dict:
+               scale: float = DEFAULT_SCALE, k: int = 10,
+               n_jobs: int | None = None) -> dict:
     """Probability averaging vs majority voting, 10-fold CV.
 
     With fully-grown trees every leaf is pure and the two voting rules
@@ -37,14 +41,16 @@ def run_voting(seed: int = DEFAULT_SEED,
     leaves carry calibrated probabilities) — the regime where the
     paper's Section V-A variance argument applies.
     """
+    jobs = default_n_jobs() if n_jobs is None else n_jobs
     X, y = cached_features(seed, scale)
     results = {}
     for mode in ("average", "majority"):
+        # partial, not a lambda: the factory crosses process boundaries.
         cv = cross_validate(
-            X, y, k=k, seed=seed,
-            model_factory=lambda m=mode: EnsembleRandomForest(
-                n_trees=20, voting=m, min_samples_leaf=5,
-                random_state=seed
+            X, y, k=k, seed=seed, n_jobs=jobs,
+            model_factory=partial(
+                EnsembleRandomForest, n_trees=20, voting=mode,
+                min_samples_leaf=5, random_state=seed,
             ),
         )
         summary = cv.summary()
@@ -59,8 +65,10 @@ def run_forest_sweep(
     scale: float = DEFAULT_SCALE,
     tree_counts: tuple[int, ...] = (5, 10, 20, 40),
     k: int = 5,
+    n_jobs: int | None = None,
 ) -> dict:
     """Sweep N_t and N_f around the paper's tuned configuration."""
+    jobs = default_n_jobs() if n_jobs is None else n_jobs
     X, y = cached_features(seed, scale)
     n_features = X.shape[1]
     paper_nf = default_max_features(n_features)
@@ -72,10 +80,11 @@ def run_forest_sweep(
                 f"Nf={'log2+1' if max_features == paper_nf else 'all'}"
             )
             cv = cross_validate(
-                X, y, k=k, seed=seed,
-                model_factory=lambda t=n_trees, f=max_features:
-                EnsembleRandomForest(n_trees=t, max_features=f,
-                                     random_state=seed),
+                X, y, k=k, seed=seed, n_jobs=jobs,
+                model_factory=partial(
+                    EnsembleRandomForest, n_trees=n_trees,
+                    max_features=max_features, random_state=seed,
+                ),
             )
             results[label] = cv.summary()
     return results
@@ -166,9 +175,10 @@ def run_whitelist(seed: int = DEFAULT_SEED,
 
 
 def report_voting(seed: int = DEFAULT_SEED,
-                  scale: float = DEFAULT_SCALE) -> str:
+                  scale: float = DEFAULT_SCALE,
+                  n_jobs: int | None = None) -> str:
     """Printable voting-mode ablation."""
-    results = run_voting(seed, scale)
+    results = run_voting(seed, scale, n_jobs=n_jobs)
     rows = [
         [mode, m["tpr"], m["fpr"], m["f_score"], m["fpr_std"]]
         for mode, m in results.items()
@@ -181,9 +191,10 @@ def report_voting(seed: int = DEFAULT_SEED,
 
 
 def report_forest_sweep(seed: int = DEFAULT_SEED,
-                        scale: float = DEFAULT_SCALE) -> str:
+                        scale: float = DEFAULT_SCALE,
+                        n_jobs: int | None = None) -> str:
     """Printable N_t/N_f sweep."""
-    results = run_forest_sweep(seed, scale)
+    results = run_forest_sweep(seed, scale, n_jobs=n_jobs)
     rows = [
         [label, m["tpr"], m["fpr"], m["f_score"]]
         for label, m in results.items()

@@ -16,6 +16,7 @@ from repro.experiments.context import (
     DEFAULT_SEED,
     cached_features,
     cached_ground_truth,
+    default_n_jobs,
 )
 from repro.learning.crossval import cross_validate
 
@@ -23,31 +24,33 @@ __all__ = ["run", "report"]
 
 
 def run(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
-        k: int = 10) -> dict[str, dict[str, float]]:
+        k: int = 10, n_jobs: int | None = None) -> dict[str, dict[str, float]]:
     """10-fold CV per abstraction; returns metrics keyed by system."""
+    jobs = default_n_jobs() if n_jobs is None else n_jobs
     corpus = cached_ground_truth(seed, scale)
     results: dict[str, dict[str, float]] = {}
 
     X_wcg, y = cached_features(seed, scale)
     results["DynaMiner (WCG, 37 features)"] = cross_validate(
-        X_wcg, y, k=k, seed=seed
+        X_wcg, y, k=k, seed=seed, n_jobs=jobs
     ).summary()
 
     X_dg, y_dg = downloader_graph.extract_matrix(corpus.traces)
     results["Downloader graph [12]"] = cross_validate(
-        X_dg, y_dg, k=k, seed=seed
+        X_dg, y_dg, k=k, seed=seed, n_jobs=jobs
     ).summary()
 
     X_rc, y_rc = redirect_chain.extract_matrix(corpus.traces)
     results["Redirection chains [25,14]"] = cross_validate(
-        X_rc, y_rc, k=k, seed=seed
+        X_rc, y_rc, k=k, seed=seed, n_jobs=jobs
     ).summary()
     return results
 
 
-def report(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> str:
+def report(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
+           n_jobs: int | None = None) -> str:
     """Printable abstraction comparison."""
-    results = run(seed, scale)
+    results = run(seed, scale, n_jobs=n_jobs)
     rows = [
         [system, m["tpr"], m["fpr"], m["f_score"], m["roc_area"]]
         for system, m in results.items()

@@ -21,6 +21,8 @@ from repro.synthesis.corpus import Corpus, ground_truth_corpus, validation_corpu
 __all__ = [
     "DEFAULT_SCALE",
     "DEFAULT_SEED",
+    "default_n_jobs",
+    "set_default_n_jobs",
     "cached_ground_truth",
     "cached_validation",
     "cached_features",
@@ -32,6 +34,22 @@ __all__ = [
 #: full-fidelity runs.
 DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.35"))
 DEFAULT_SEED = 7
+
+#: Process count for the offline pipeline (extraction / fitting / CV);
+#: seeded via REPRO_N_JOBS, overridable with `dynaminer run --n-jobs`.
+#: Results are byte-identical for any value (see repro.parallel).
+_DEFAULT_N_JOBS = int(os.environ.get("REPRO_N_JOBS", "1"))
+
+
+def default_n_jobs() -> int:
+    """The process count experiment drivers use when not told otherwise."""
+    return _DEFAULT_N_JOBS
+
+
+def set_default_n_jobs(n_jobs: int) -> None:
+    """Override the experiment drivers' process count (the CLI hook)."""
+    global _DEFAULT_N_JOBS
+    _DEFAULT_N_JOBS = n_jobs
 
 
 @lru_cache(maxsize=4)
@@ -56,9 +74,13 @@ def cached_validation(seed: int = 1301,
 def cached_features(
     seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE
 ) -> tuple[np.ndarray, np.ndarray]:
-    """(X, y) over the ground-truth corpus (memoized)."""
+    """(X, y) over the ground-truth corpus (memoized).
+
+    ``default_n_jobs()`` is read at call time rather than being a cache
+    key: the extracted matrix is identical for any worker count.
+    """
     corpus = cached_ground_truth(seed, scale)
-    return extract_matrix(corpus.traces)
+    return extract_matrix(corpus.traces, n_jobs=default_n_jobs())
 
 
 @lru_cache(maxsize=2)
@@ -67,7 +89,7 @@ def cached_validation_features(
 ) -> tuple[np.ndarray, np.ndarray]:
     """(X, y) over the validation corpus (memoized)."""
     corpus = cached_validation(seed, scale)
-    return extract_matrix(corpus.traces)
+    return extract_matrix(corpus.traces, n_jobs=default_n_jobs())
 
 
 @lru_cache(maxsize=4)
@@ -85,7 +107,8 @@ def trained_classifier(
     from repro.detection.training import training_matrix
 
     corpus = cached_ground_truth(seed, scale)
-    X, y = training_matrix(corpus.traces, augment_prefixes=True)
+    X, y = training_matrix(corpus.traces, augment_prefixes=True,
+                           n_jobs=default_n_jobs())
     model = EnsembleRandomForest(n_trees=n_trees, random_state=seed)
-    model.fit(X, y)
+    model.fit(X, y, n_jobs=default_n_jobs())
     return model

@@ -12,23 +12,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analytics.report import format_table
-from repro.experiments.context import DEFAULT_SCALE, DEFAULT_SEED, cached_ground_truth
-from repro.features.extractor import FeatureExtractor
+from repro.experiments.context import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    cached_ground_truth,
+    default_n_jobs,
+)
+from repro.features.extractor import extract_trace_features
+from repro.parallel import parallel_map
 from repro.learning.forest import EnsembleRandomForest
 
 __all__ = ["run", "report"]
 
 
 def run(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
-        threshold: float = 0.5) -> dict[str, dict[str, float]]:
+        threshold: float = 0.5,
+        n_jobs: int | None = None) -> dict[str, dict[str, float]]:
     """Leave-one-family-out detection rates."""
+    jobs = default_n_jobs() if n_jobs is None else n_jobs
     corpus = cached_ground_truth(seed, scale)
-    extractor = FeatureExtractor()
 
     # Extract once, index by trace.
-    vectors = {}
-    for index, trace in enumerate(corpus.traces):
-        vectors[index] = extractor.extract_trace(trace)
+    rows = parallel_map(extract_trace_features, corpus.traces, n_jobs=jobs)
+    vectors = dict(enumerate(rows))
 
     results: dict[str, dict[str, float]] = {}
     benign_idx = [i for i, t in enumerate(corpus.traces)
@@ -46,7 +52,7 @@ def run(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
             for i in train_idx
         ])
         model = EnsembleRandomForest(n_trees=20, random_state=seed)
-        model.fit(X_train, y_train)
+        model.fit(X_train, y_train, n_jobs=jobs)
         X_test = np.vstack([vectors[i] for i in held_out])
         scores = model.decision_scores(X_test)
         detected = int(np.sum(scores >= threshold))
@@ -59,9 +65,10 @@ def run(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
     return results
 
 
-def report(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> str:
+def report(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
+           n_jobs: int | None = None) -> str:
     """Printable leave-one-family-out table."""
-    results = run(seed, scale)
+    results = run(seed, scale, n_jobs=n_jobs)
     rows = [
         [family, int(m["episodes"]), int(m["detected"]),
          f"{m['tpr']:.1%}", f"{m['mean_score']:.2f}"]

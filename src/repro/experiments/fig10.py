@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.context import DEFAULT_SCALE, DEFAULT_SEED, cached_features
+from repro.experiments.context import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    cached_features,
+    default_n_jobs,
+)
 from repro.learning.crossval import stratified_kfold
 from repro.learning.forest import EnsembleRandomForest
 from repro.learning.metrics import auc, roc_curve
@@ -19,13 +24,14 @@ __all__ = ["run", "operating_points", "report"]
 
 
 def run(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
-        k: int = 10) -> dict:
+        k: int = 10, n_jobs: int | None = None) -> dict:
     """Compute pooled out-of-fold ROC points and the area under them."""
+    jobs = default_n_jobs() if n_jobs is None else n_jobs
     X, y = cached_features(seed, scale)
     scores = np.zeros(len(y))
     for train_idx, test_idx in stratified_kfold(y, k=k, seed=seed):
         model = EnsembleRandomForest(n_trees=20, random_state=seed)
-        model.fit(X[train_idx], y[train_idx])
+        model.fit(X[train_idx], y[train_idx], n_jobs=jobs)
         scores[test_idx] = model.decision_scores(X[test_idx])
     fpr, tpr, thresholds = roc_curve(y, scores)
     return {
@@ -40,13 +46,14 @@ def operating_points(
     seed: int = DEFAULT_SEED,
     scale: float = DEFAULT_SCALE,
     thresholds: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9),
+    n_jobs: int | None = None,
 ) -> dict[float, dict[str, float]]:
     """TPR/FPR at concrete alert thresholds — the deployment dial.
 
     The ROC curve shows what is *achievable*; a deployment must pick a
     threshold.  Returns the operating point for each candidate.
     """
-    data = run(seed, scale)
+    data = run(seed, scale, n_jobs=n_jobs)
     points = {}
     for threshold in thresholds:
         # Last curve point whose threshold is still >= the candidate.
@@ -60,9 +67,10 @@ def operating_points(
     return points
 
 
-def report(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> str:
+def report(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE,
+           n_jobs: int | None = None) -> str:
     """ASCII rendition of the Figure 10 ROC curve."""
-    data = run(seed, scale)
+    data = run(seed, scale, n_jobs=n_jobs)
     lines = [f"Fig. 10 (reproduced): ROC curve, AUC = {data['auc']:.4f}"]
     # Sample ~12 evenly spaced curve points for the log.
     fpr, tpr = data["fpr"], data["tpr"]
@@ -73,7 +81,8 @@ def report(seed: int = DEFAULT_SEED, scale: float = DEFAULT_SCALE) -> str:
     for index in picks:
         lines.append(f"{fpr[index]:.4f}  {tpr[index]:.4f}")
     lines.append("operating points (threshold: TPR @ FPR):")
-    for threshold, point in operating_points(seed, scale).items():
+    for threshold, point in operating_points(seed, scale,
+                                             n_jobs=n_jobs).items():
         lines.append(
             f"  {threshold:.1f}: TPR {point['tpr']:.3f} @ "
             f"FPR {point['fpr']:.3f}"

@@ -18,8 +18,10 @@ from repro.features.header import header_features
 from repro.features.high_level import high_level_features
 from repro.features.registry import FEATURES, NUM_FEATURES
 from repro.features.temporal import temporal_features
+from repro.parallel import parallel_map
 
-__all__ = ["FeatureExtractor", "extract_features", "extract_matrix"]
+__all__ = ["FeatureExtractor", "extract_features", "extract_matrix",
+           "extract_trace_features"]
 
 
 class FeatureExtractor:
@@ -55,20 +57,26 @@ def extract_features(wcg: WebConversationGraph) -> np.ndarray:
     return FeatureExtractor().extract(wcg)
 
 
-def extract_matrix(traces: list[Trace]) -> tuple[np.ndarray, np.ndarray]:
+def extract_trace_features(trace: Trace) -> np.ndarray:
+    """Feature row for one trace (module-level so process pools can ship it)."""
+    return FeatureExtractor().extract_trace(trace)
+
+
+def extract_matrix(
+    traces: list[Trace], n_jobs: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
     """Extract a design matrix and label vector from labelled traces.
 
     Returns ``(X, y)`` with ``y[i] = 1`` for infections, ``0`` for benign.
-    Raises :class:`FeatureError` when a trace is unlabelled.
+    Raises :class:`FeatureError` when a trace is unlabelled.  Per-trace
+    extraction is stateless, so ``n_jobs`` fans it out over a process
+    pool (``-1`` = all cores); row order always matches the input order.
     """
-    extractor = FeatureExtractor()
-    rows = []
-    labels = []
     for trace in traces:
         if trace.label is None:
             raise FeatureError("extract_matrix requires labelled traces")
-        rows.append(extractor.extract_trace(trace))
-        labels.append(1.0 if trace.is_infection else 0.0)
-    if not rows:
+    if not traces:
         return np.empty((0, NUM_FEATURES)), np.empty(0)
+    rows = parallel_map(extract_trace_features, traces, n_jobs=n_jobs)
+    labels = [1.0 if trace.is_infection else 0.0 for trace in traces]
     return np.vstack(rows), np.array(labels)

@@ -75,7 +75,12 @@ def train_test_split(
     for cls in np.unique(dataset.y):
         indices = np.where(dataset.y == cls)[0]
         rng.shuffle(indices)
-        take = max(1, int(round(len(indices) * test_fraction)))
+        # Cap the take so the train partition keeps at least one sample
+        # of every class — a 1–2 sample class must not vanish from it.
+        take = min(
+            max(1, int(round(len(indices) * test_fraction))),
+            len(indices) - 1,
+        )
         test_rows.extend(int(i) for i in indices[:take])
     test_mask = np.zeros(len(dataset), dtype=bool)
     test_mask[test_rows] = True

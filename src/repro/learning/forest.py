@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.exceptions import LearningError, NotFittedError
 from repro.learning.tree import DecisionTreeClassifier
+from repro.parallel import parallel_map
 
 __all__ = ["EnsembleRandomForest", "default_max_features"]
 
@@ -22,6 +23,39 @@ __all__ = ["EnsembleRandomForest", "default_max_features"]
 def default_max_features(n_features: int) -> int:
     """The paper's ``N_f = log2(NumFeatures) + 1`` rule."""
     return max(1, int(math.log2(max(2, n_features))) + 1)
+
+
+def _bootstrap_sample(
+    X: np.ndarray, y: np.ndarray, n_classes: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    n_samples = len(y)
+    sample = rng.integers(0, n_samples, size=n_samples)
+    Xb, yb = X[sample], y[sample]
+    # Guard: a bootstrap may drop a class entirely on tiny datasets;
+    # resample until both classes are present.
+    attempts = 0
+    while len(np.unique(yb)) < n_classes and attempts < 32:
+        sample = rng.integers(0, n_samples, size=n_samples)
+        Xb, yb = X[sample], y[sample]
+        attempts += 1
+    return Xb, yb
+
+
+def _fit_tree(job: tuple) -> DecisionTreeClassifier:
+    """Pool worker: bootstrap-sample and fit one tree.
+
+    Every random input (the bootstrap seed and the tree's split seed) is
+    pre-drawn by :meth:`EnsembleRandomForest.fit` and carried in the job
+    tuple, so the result depends only on the job — never on which worker
+    runs it or in what order.
+    """
+    X, y, n_classes, params, bootstrap, bootstrap_seed, tree_seed = job
+    if bootstrap:
+        Xb, yb = _bootstrap_sample(X, y, n_classes, bootstrap_seed)
+    else:
+        Xb, yb = X, y
+    return DecisionTreeClassifier(random_state=tree_seed, **params).fit(Xb, yb)
 
 
 class EnsembleRandomForest:
@@ -37,6 +71,8 @@ class EnsembleRandomForest:
             (kept for the ablation bench).
         random_state: master seed; tree seeds and bootstrap draws derive
             from it.
+        n_jobs: default process count for :meth:`fit` (``None`` = serial,
+            ``-1`` = all cores).  Any value yields byte-identical trees.
     """
 
     def __init__(
@@ -50,6 +86,7 @@ class EnsembleRandomForest:
         voting: str = "average",
         bootstrap: bool = True,
         random_state: int | None = None,
+        n_jobs: int | None = None,
     ):
         if n_trees < 1:
             raise LearningError("n_trees must be >= 1")
@@ -64,11 +101,22 @@ class EnsembleRandomForest:
         self.voting = voting
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self.trees_: list[DecisionTreeClassifier] = []
         self._classes: np.ndarray | None = None
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "EnsembleRandomForest":
-        """Fit the ensemble; returns self."""
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, n_jobs: int | None = None
+    ) -> "EnsembleRandomForest":
+        """Fit the ensemble; returns self.
+
+        Args:
+            n_jobs: per-tree fitting processes (overrides the
+                constructor's ``n_jobs``).  Both the bootstrap seed and
+                the split seed of tree *i* are drawn up front from the
+                master ``random_state``, so every ``n_jobs`` value —
+                serial included — grows byte-identical trees.
+        """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y)
         if len(X) != len(y):
@@ -76,37 +124,28 @@ class EnsembleRandomForest:
         if len(X) == 0:
             raise LearningError("cannot fit on an empty dataset")
         self._classes = np.unique(y)
-        n_samples, n_features = X.shape
+        n_features = X.shape[1]
         k = (
             self.max_features
             if self.max_features is not None
             else default_max_features(n_features)
         )
         rng = np.random.default_rng(self.random_state)
-        self.trees_ = []
-        for index in range(self.n_trees):
-            if self.bootstrap:
-                sample = rng.integers(0, n_samples, size=n_samples)
-                Xb, yb = X[sample], y[sample]
-                # Guard: a bootstrap may drop a class entirely on tiny
-                # datasets; resample until both classes are present.
-                attempts = 0
-                while len(np.unique(yb)) < len(self._classes) and attempts < 32:
-                    sample = rng.integers(0, n_samples, size=n_samples)
-                    Xb, yb = X[sample], y[sample]
-                    attempts += 1
-            else:
-                Xb, yb = X, y
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=k,
-                criterion=self.criterion,
-                random_state=int(rng.integers(0, 2**31 - 1)),
-            )
-            tree.fit(Xb, yb)
-            self.trees_.append(tree)
+        seeds = rng.integers(0, 2**31 - 1, size=(self.n_trees, 2))
+        params = {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": k,
+            "criterion": self.criterion,
+        }
+        jobs = [
+            (X, y, len(self._classes), params, self.bootstrap,
+             int(seeds[index, 0]), int(seeds[index, 1]))
+            for index in range(self.n_trees)
+        ]
+        effective = n_jobs if n_jobs is not None else self.n_jobs
+        self.trees_ = parallel_map(_fit_tree, jobs, n_jobs=effective)
         return self
 
     def _check_fitted(self) -> None:
@@ -130,13 +169,15 @@ class EnsembleRandomForest:
                 proba = tree.predict_proba(X)
                 cols = np.searchsorted(self._classes, tree._classes)
                 total[:, cols] += proba
-            return total / self.n_trees
+            # Normalize by the trees actually present: a payload loaded
+            # from disk may carry fewer trees than n_trees claims.
+            return total / len(self.trees_)
         votes = np.zeros((len(X), n_classes))
         for tree in self.trees_:
             predicted = tree.predict(X)
             cols = np.searchsorted(self._classes, predicted)
             votes[np.arange(len(X)), cols] += 1
-        return votes / self.n_trees
+        return votes / len(self.trees_)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Predicted class labels."""
@@ -144,12 +185,22 @@ class EnsembleRandomForest:
         return self._classes[np.argmax(proba, axis=1)]
 
     def decision_scores(self, X: np.ndarray) -> np.ndarray:
-        """Probability of the positive (largest-label) class.
+        """Probability of the infection class (label 1).
 
-        The score swept to draw the ROC curve (Figure 10).
+        The score swept to draw the ROC curve (Figure 10).  The column
+        is resolved from the fitted classes: a forest that never saw
+        class 1 (e.g. trained on benign-only data) scores every sample
+        0.0 rather than returning its only column — which is class 0 —
+        as the infection probability.
         """
         proba = self.predict_proba(X)
-        return proba[:, -1]
+        positive = np.flatnonzero(self._classes == 1)
+        if positive.size:
+            return proba[:, positive[0]]
+        if len(self._classes) > 1:
+            # Non-0/1 labelling: keep the largest-label convention.
+            return proba[:, -1]
+        return np.zeros(len(proba))
 
     def feature_importances(self) -> np.ndarray:
         """Mean split-frequency importances across trees."""

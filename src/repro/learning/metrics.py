@@ -13,6 +13,11 @@ import numpy as np
 
 from repro.exceptions import LearningError
 
+try:  # numpy >= 2.0
+    from numpy import trapezoid as _trapezoid
+except ImportError:  # numpy 1.x (declared floor is numpy>=1.24)
+    from numpy import trapz as _trapezoid
+
 __all__ = ["ConfusionMatrix", "confusion", "roc_curve", "auc", "roc_auc",
            "evaluate_scores"]
 
@@ -114,7 +119,7 @@ def auc(x: np.ndarray, y: np.ndarray) -> float:
     y = np.asarray(y, dtype=np.float64)
     if len(x) < 2:
         return 0.0
-    return float(np.trapezoid(y, x))
+    return float(_trapezoid(y, x))
 
 
 def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:

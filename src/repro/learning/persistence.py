@@ -5,6 +5,13 @@ wire (Stage 2), usually in a different process or on a different box —
 so the trained ERF must serialize.  The format is plain JSON (no
 pickle: model files routinely cross trust boundaries) and versioned for
 forward compatibility.
+
+Format version 2 stores each tree as a *flat* preorder node list with
+child indices (see :func:`repro.learning.tree.flatten_nodes`).  The
+version-1 nested encoding mirrored the tree shape, so a fully-grown
+tree (default ``max_depth=None``) could exceed the recursion limit of
+both this module's walkers and the stdlib ``json`` encoder/decoder;
+version-1 payloads are still readable.
 """
 
 from __future__ import annotations
@@ -15,34 +22,36 @@ import numpy as np
 
 from repro.exceptions import LearningError
 from repro.learning.forest import EnsembleRandomForest
-from repro.learning.tree import DecisionTreeClassifier, _Node
+from repro.learning.tree import (
+    DecisionTreeClassifier,
+    _Node,
+    flatten_nodes,
+    unflatten_nodes,
+)
 
 __all__ = ["forest_to_dict", "forest_from_dict", "save_forest",
            "load_forest"]
 
-_FORMAT_VERSION = 1
-
-
-def _node_to_dict(node: _Node) -> dict:
-    if node.is_leaf:
-        return {"proba": [float(p) for p in node.proba]}
-    return {
-        "feature": node.feature,
-        "threshold": node.threshold,
-        "left": _node_to_dict(node.left),
-        "right": _node_to_dict(node.right),
-    }
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def _node_from_dict(data: dict) -> _Node:
-    if "proba" in data:
-        return _Node(proba=np.array(data["proba"], dtype=np.float64))
-    return _Node(
-        feature=int(data["feature"]),
-        threshold=float(data["threshold"]),
-        left=_node_from_dict(data["left"]),
-        right=_node_from_dict(data["right"]),
-    )
+    """Decode the version-1 nested encoding with an explicit stack."""
+    root = _Node()
+    stack = [(data, root)]
+    while stack:
+        payload, node = stack.pop()
+        if "proba" in payload:
+            node.proba = np.array(payload["proba"], dtype=np.float64)
+        else:
+            node.feature = int(payload["feature"])
+            node.threshold = float(payload["threshold"])
+            node.left = _Node()
+            node.right = _Node()
+            stack.append((payload["right"], node.right))
+            stack.append((payload["left"], node.left))
+    return root
 
 
 def _tree_to_dict(tree: DecisionTreeClassifier) -> dict:
@@ -51,7 +60,7 @@ def _tree_to_dict(tree: DecisionTreeClassifier) -> dict:
     return {
         "classes": [float(c) for c in tree._classes],
         "n_features": tree.n_features_,
-        "root": _node_to_dict(tree._root),
+        "nodes": flatten_nodes(tree._root),
     }
 
 
@@ -60,7 +69,10 @@ def _tree_from_dict(data: dict) -> DecisionTreeClassifier:
     tree._classes = np.array(data["classes"])
     tree._n_classes = len(tree._classes)
     tree.n_features_ = int(data["n_features"])
-    tree._root = _node_from_dict(data["root"])
+    if "nodes" in data:
+        tree._root = unflatten_nodes(data["nodes"])
+    else:  # version-1 nested encoding
+        tree._root = _node_from_dict(data["root"])
     return tree
 
 
@@ -73,6 +85,13 @@ def forest_to_dict(forest: EnsembleRandomForest) -> dict:
         "model": "EnsembleRandomForest",
         "n_trees": forest.n_trees,
         "voting": forest.voting,
+        "max_features": forest.max_features,
+        "max_depth": forest.max_depth,
+        "min_samples_split": forest.min_samples_split,
+        "min_samples_leaf": forest.min_samples_leaf,
+        "criterion": forest.criterion,
+        "bootstrap": forest.bootstrap,
+        "random_state": forest.random_state,
         "classes": [float(c) for c in forest._classes],
         "trees": [_tree_to_dict(t) for t in forest.trees_],
     }
@@ -83,13 +102,30 @@ def forest_from_dict(data: dict) -> EnsembleRandomForest:
     if data.get("model") != "EnsembleRandomForest":
         raise LearningError(f"not a forest payload: {data.get('model')!r}")
     version = data.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise LearningError(f"unsupported model format version: {version}")
+    n_trees = int(data["n_trees"])
+    trees = data["trees"]
+    if len(trees) != n_trees:
+        raise LearningError(
+            f"payload declares {n_trees} trees but carries {len(trees)}"
+        )
+    max_features = data.get("max_features")
+    max_depth = data.get("max_depth")
+    random_state = data.get("random_state")
     forest = EnsembleRandomForest(
-        n_trees=int(data["n_trees"]), voting=str(data["voting"])
+        n_trees=n_trees,
+        max_features=None if max_features is None else int(max_features),
+        max_depth=None if max_depth is None else int(max_depth),
+        min_samples_split=int(data.get("min_samples_split", 2)),
+        min_samples_leaf=int(data.get("min_samples_leaf", 1)),
+        criterion=str(data.get("criterion", "gini")),
+        voting=str(data["voting"]),
+        bootstrap=bool(data.get("bootstrap", True)),
+        random_state=None if random_state is None else int(random_state),
     )
     forest._classes = np.array(data["classes"])
-    forest.trees_ = [_tree_from_dict(t) for t in data["trees"]]
+    forest.trees_ = [_tree_from_dict(t) for t in trees]
     return forest
 
 

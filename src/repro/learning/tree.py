@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.exceptions import LearningError, NotFittedError
 
-__all__ = ["DecisionTreeClassifier"]
+__all__ = ["DecisionTreeClassifier", "flatten_nodes", "unflatten_nodes"]
 
 
 @dataclass
@@ -51,6 +51,54 @@ def _entropy(counts: np.ndarray) -> float:
 
 
 _CRITERIA = {"gini": _gini, "entropy": _entropy}
+
+
+def flatten_nodes(root: _Node) -> list[dict]:
+    """Flatten a node chain to a preorder list with child indices.
+
+    The nested ``_Node`` structure nests as deep as the tree, so both
+    ``pickle`` and ``json`` blow the interpreter recursion limit on
+    fully-grown trees; this flat encoding (leaves carry ``proba``,
+    internal nodes carry ``left``/``right`` list indices) has constant
+    nesting depth whatever the tree shape.
+    """
+    nodes: list[dict] = []
+    stack: list[tuple[_Node, int, str]] = [(root, -1, "")]
+    while stack:
+        node, parent_pos, side = stack.pop()
+        pos = len(nodes)
+        if parent_pos >= 0:
+            nodes[parent_pos][side] = pos
+        if node.is_leaf:
+            nodes.append({"proba": [float(p) for p in node.proba]})
+        else:
+            nodes.append({
+                "feature": int(node.feature),
+                "threshold": float(node.threshold),
+                "left": -1,
+                "right": -1,
+            })
+            stack.append((node.right, pos, "right"))
+            stack.append((node.left, pos, "left"))
+    return nodes
+
+
+def unflatten_nodes(nodes: list[dict]) -> _Node:
+    """Rebuild a node chain from :func:`flatten_nodes` output."""
+    if not nodes:
+        raise LearningError("empty node list")
+    built = [
+        _Node(proba=np.array(data["proba"], dtype=np.float64))
+        if "proba" in data
+        else _Node(feature=int(data["feature"]),
+                   threshold=float(data["threshold"]))
+        for data in nodes
+    ]
+    for data, node in zip(nodes, built):
+        if "proba" not in data:
+            node.left = built[data["left"]]
+            node.right = built[data["right"]]
+    return built[0]
 
 
 class DecisionTreeClassifier:
@@ -109,30 +157,74 @@ class DecisionTreeClassifier:
         self._root = self._grow(X, encoded, depth=0)
         return self
 
-    def _leaf(self, y: np.ndarray) -> _Node:
+    def _leaf_proba(self, y: np.ndarray) -> np.ndarray:
         counts = np.bincount(y, minlength=self._n_classes).astype(np.float64)
-        return _Node(proba=counts / counts.sum())
+        return counts / counts.sum()
 
     def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
-        n_samples = len(y)
-        if (
-            n_samples < self.min_samples_split
-            or (self.max_depth is not None and depth >= self.max_depth)
-            or len(np.unique(y)) == 1
-        ):
-            return self._leaf(y)
-        split = self._best_split(X, y)
-        if split is None:
-            return self._leaf(y)
-        feature, threshold = split
-        mask = X[:, feature] <= threshold
-        if not mask.any() or mask.all():
-            # Degenerate split (can only stem from float pathology).
-            return self._leaf(y)
-        left = self._grow(X[mask], y[mask], depth + 1)
-        right = self._grow(X[~mask], y[~mask], depth + 1)
-        return _Node(feature=feature, threshold=threshold, left=left,
-                     right=right)
+        """Grow a (sub)tree with an explicit work stack.
+
+        Iterative rather than recursive so the default ``max_depth=None``
+        can grow trees deeper than the interpreter recursion limit.  The
+        stack pops in the recursive preorder (node, left subtree, right
+        subtree), so the per-split RNG draws — and hence the grown tree —
+        are identical to what the recursive formulation produced.
+        """
+        root = _Node()
+        stack: list[tuple[np.ndarray, np.ndarray, int, _Node]] = [
+            (X, y, depth, root)
+        ]
+        while stack:
+            X_part, y_part, node_depth, node = stack.pop()
+            n_samples = len(y_part)
+            if (
+                n_samples < self.min_samples_split
+                or (self.max_depth is not None
+                    and node_depth >= self.max_depth)
+                or len(np.unique(y_part)) == 1
+            ):
+                node.proba = self._leaf_proba(y_part)
+                continue
+            split = self._best_split(X_part, y_part)
+            if split is None:
+                node.proba = self._leaf_proba(y_part)
+                continue
+            feature, threshold = split
+            mask = X_part[:, feature] <= threshold
+            if not mask.any() or mask.all():
+                # Degenerate split (can only stem from float pathology).
+                node.proba = self._leaf_proba(y_part)
+                continue
+            node.feature = feature
+            node.threshold = threshold
+            node.left = _Node()
+            node.right = _Node()
+            # Right first so the left child pops (and draws RNG) first.
+            stack.append(
+                (X_part[~mask], y_part[~mask], node_depth + 1, node.right)
+            )
+            stack.append(
+                (X_part[mask], y_part[mask], node_depth + 1, node.left)
+            )
+        return root
+
+    # -- pickling ------------------------------------------------------------
+    # Process pools ship fitted trees between workers; the nested _Node
+    # chain would recurse in pickle as deep as the tree, so the state
+    # swaps it for the flat encoding.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_impurity", None)  # module-level fn, rebound on restore
+        if state.get("_root") is not None:
+            state["_root"] = flatten_nodes(state["_root"])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        root = state.pop("_root", None)
+        self.__dict__.update(state)
+        self._root = unflatten_nodes(root) if root is not None else None
+        self._impurity = _CRITERIA[self.criterion]
 
     def _best_split(
         self, X: np.ndarray, y: np.ndarray
@@ -242,40 +334,44 @@ class DecisionTreeClassifier:
         """Depth of the grown tree (0 for a single leaf)."""
         if self._root is None:
             raise NotFittedError("fit() must be called first")
-
-        def _depth(node: _Node) -> int:
+        deepest = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, level = stack.pop()
             if node.is_leaf:
-                return 0
-            return 1 + max(_depth(node.left), _depth(node.right))
-
-        return _depth(self._root)
+                deepest = max(deepest, level)
+            else:
+                stack.append((node.left, level + 1))
+                stack.append((node.right, level + 1))
+        return deepest
 
     @property
     def node_count(self) -> int:
         """Total nodes in the grown tree."""
         if self._root is None:
             raise NotFittedError("fit() must be called first")
-
-        def _count(node: _Node) -> int:
-            if node.is_leaf:
-                return 1
-            return 1 + _count(node.left) + _count(node.right)
-
-        return _count(self._root)
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.append(node.left)
+                stack.append(node.right)
+        return count
 
     def feature_importances(self) -> np.ndarray:
         """Split-frequency importances (how often each feature splits)."""
         if self._root is None:
             raise NotFittedError("fit() must be called first")
         importances = np.zeros(self.n_features_)
-
-        def _walk(node: _Node) -> None:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
             if node.is_leaf:
-                return
+                continue
             importances[node.feature] += 1
-            _walk(node.left)
-            _walk(node.right)
-
-        _walk(self._root)
+            stack.append(node.left)
+            stack.append(node.right)
         total = importances.sum()
         return importances / total if total else importances

@@ -1,0 +1,59 @@
+"""Process-pool execution layer for the offline analytics pipeline.
+
+Stage 1 — feature extraction, ensemble fitting, cross-validation — is
+embarrassingly parallel at three grains: per trace, per tree, per fold.
+This module provides the one shared primitive (:func:`parallel_map`)
+those call sites use, plus the ``n_jobs`` convention resolver.
+
+Determinism contract: callers draw **all** randomness up front (per-item
+seeds derived from the master ``random_state``) and ship it with each
+work item, so the execution schedule cannot perturb the random streams
+and any ``n_jobs`` value produces byte-identical results.
+
+Work items and results cross process boundaries, so both must be
+picklable — module-level worker functions, no lambdas or closures.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+from repro.exceptions import ReproError
+
+__all__ = ["resolve_n_jobs", "parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Effective worker count: ``None`` → 1 (serial), ``-1`` → all cores."""
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ReproError("n_jobs must be >= 1, or -1 for all cores")
+    return n_jobs
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    n_jobs: int | None = None,
+) -> list[_R]:
+    """Ordered ``[fn(item) for item in items]`` over a process pool.
+
+    Falls back to an in-process loop when the effective worker count or
+    the item count is 1, so ``n_jobs=1`` never pays pool overhead and
+    never requires picklability.
+    """
+    items = list(items)
+    workers = min(resolve_n_jobs(n_jobs), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    chunksize = max(1, len(items) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

@@ -73,3 +73,31 @@ class TestTrainTestSplit:
         train_a, _ = train_test_split(data, seed=7)
         train_b, _ = train_test_split(data, seed=7)
         assert np.array_equal(train_a.X, train_b.X)
+
+
+class TestTinyClassSplit:
+    def _dataset_with_counts(self, negatives, positives):
+        n = negatives + positives
+        X = np.arange(n, dtype=np.float64).reshape(-1, 1)
+        y = np.array([0] * negatives + [1] * positives)
+        return LabeledDataset(X=X, y=y, feature_names=["a"])
+
+    def test_singleton_class_stays_in_train(self):
+        # Regression: max(1, ...) used to send a 1-sample class entirely
+        # to the test partition, so training never saw the class.
+        data = self._dataset_with_counts(10, 1)
+        train, test = train_test_split(data, test_fraction=0.3, seed=0)
+        assert train.positives == 1
+        assert test.positives == 0
+
+    def test_two_sample_class_keeps_one_in_train(self):
+        data = self._dataset_with_counts(10, 2)
+        train, test = train_test_split(data, test_fraction=0.9, seed=0)
+        assert train.positives == 1
+        assert test.positives == 1
+
+    def test_large_class_unaffected(self):
+        data = self._dataset_with_counts(100, 100)
+        train, test = train_test_split(data, test_fraction=0.3, seed=0)
+        assert test.positives == 30
+        assert train.positives == 70

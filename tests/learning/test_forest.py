@@ -128,3 +128,45 @@ class TestFitPredict:
     def test_importances_unfitted(self):
         with pytest.raises(NotFittedError):
             EnsembleRandomForest().feature_importances()
+
+
+class TestDecisionScores:
+    def test_benign_only_fit_scores_zero(self):
+        # Regression: proba[:, -1] on a single-class (benign) fit used
+        # to report probability 1.0 for "infection" on every sample.
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(20, 3))
+        forest = EnsembleRandomForest(n_trees=3, random_state=0)
+        forest.fit(X, np.zeros(20))
+        assert np.array_equal(forest.decision_scores(X), np.zeros(20))
+
+    def test_infection_only_fit_scores_one(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(20, 3))
+        forest = EnsembleRandomForest(n_trees=3, random_state=0)
+        forest.fit(X, np.ones(20))
+        assert np.array_equal(forest.decision_scores(X), np.ones(20))
+
+    def test_two_class_scores_are_class1_column(self):
+        X, y = _separable()
+        forest = EnsembleRandomForest(n_trees=5, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert np.array_equal(forest.decision_scores(X), proba[:, 1])
+
+
+class TestProbabilityNormalization:
+    def test_divides_by_actual_tree_count(self):
+        # Regression: predict_proba divided by the n_trees attribute,
+        # so a forest whose trees_ list diverges from it (e.g. a stale
+        # payload) silently skewed every probability.
+        X, y = _separable()
+        forest = EnsembleRandomForest(n_trees=4, random_state=0).fit(X, y)
+        forest.n_trees = 99
+        assert np.allclose(forest.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_majority_votes_normalized(self):
+        X, y = _separable()
+        forest = EnsembleRandomForest(n_trees=5, voting="majority",
+                                      random_state=0).fit(X, y)
+        forest.n_trees = 99
+        assert np.allclose(forest.predict_proba(X).sum(axis=1), 1.0)

@@ -132,3 +132,36 @@ class TestEvaluateScores:
         result = evaluate_scores(y, scores)
         assert set(result) == {"tpr", "fpr", "f_score", "accuracy",
                                "roc_area", "precision"}
+
+
+class TestNumpyCompat:
+    def test_auc_under_numpy_1x_api(self, monkeypatch):
+        """Regression: auc must work where only ``np.trapz`` exists.
+
+        ``np.trapezoid`` appeared in numpy 2.0 while the declared floor
+        is ``numpy>=1.24``; simulate the 1.x API surface and reload the
+        module so the import-time fallback is exercised.
+        """
+        import importlib
+
+        from repro.learning import metrics
+
+        trap = getattr(np, "trapezoid", None) or np.trapz
+        monkeypatch.setattr(np, "trapz", trap, raising=False)
+        if hasattr(np, "trapezoid"):
+            monkeypatch.delattr(np, "trapezoid")
+        try:
+            importlib.reload(metrics)
+            assert metrics.auc(
+                np.array([0.0, 0.5, 1.0]), np.array([0.0, 0.5, 1.0])
+            ) == pytest.approx(0.5)
+            assert metrics.roc_auc(
+                np.array([0, 1]), np.array([0.2, 0.9])
+            ) == pytest.approx(1.0)
+        finally:
+            monkeypatch.undo()
+            importlib.reload(metrics)
+
+    def test_auc_under_current_numpy(self):
+        assert auc(np.array([0.0, 1.0]), np.array([0.0, 1.0])) \
+            == pytest.approx(0.5)

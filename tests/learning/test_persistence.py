@@ -79,3 +79,53 @@ class TestValidation:
         payload["format_version"] = 99
         with pytest.raises(LearningError, match="version"):
             forest_from_dict(payload)
+
+
+class TestPayloadIntegrity:
+    def test_tree_count_mismatch_rejected(self, fitted):
+        # Regression: a payload whose trees list diverged from its
+        # n_trees field used to load silently and skew probabilities.
+        forest, _, _ = fitted
+        payload = forest_to_dict(forest)
+        payload["trees"] = payload["trees"][:-1]
+        with pytest.raises(LearningError, match="trees"):
+            forest_from_dict(payload)
+
+    def test_hyperparameters_roundtrip(self, fitted):
+        # Regression: max_features / criterion / max_depth (and friends)
+        # used to be dropped on load.
+        _, X, y = fitted
+        forest = EnsembleRandomForest(
+            n_trees=3, max_features=2, max_depth=4, min_samples_split=3,
+            min_samples_leaf=2, criterion="entropy", bootstrap=False,
+            random_state=9,
+        ).fit(X, y)
+        rebuilt = forest_from_dict(forest_to_dict(forest))
+        assert rebuilt.max_features == 2
+        assert rebuilt.max_depth == 4
+        assert rebuilt.min_samples_split == 3
+        assert rebuilt.min_samples_leaf == 2
+        assert rebuilt.criterion == "entropy"
+        assert rebuilt.bootstrap is False
+        assert rebuilt.random_state == 9
+
+    def test_version1_nested_payload_still_loads(self, fitted):
+        """Back-compat: models saved by format version 1 must load."""
+        forest, X, _ = fitted
+
+        def nest(nodes, index):
+            node = dict(nodes[index])
+            if "proba" in node:
+                return node
+            node["left"] = nest(nodes, node["left"])
+            node["right"] = nest(nodes, node["right"])
+            return node
+
+        payload = forest_to_dict(forest)
+        payload["format_version"] = 1
+        for tree in payload["trees"]:
+            tree["root"] = nest(tree.pop("nodes"), 0)
+        rebuilt = forest_from_dict(payload)
+        assert np.array_equal(
+            rebuilt.decision_scores(X), forest.decision_scores(X)
+        )
