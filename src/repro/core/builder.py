@@ -5,13 +5,33 @@ group transactions into host-pair conversations; derive request,
 response, and redirection edges; annotate nodes and edges with
 conversation attributes; prepend the *origin node* (the enticement
 source, or ``"empty"`` when concealed).
+
+The builder is *truly incremental*: :meth:`WCGBuilder.add` is a
+constant-time append, and :meth:`WCGBuilder.build` folds the pending
+transactions' edges into the existing graph, resumes stage assignment
+through :class:`~repro.core.stages.StageAssigner` (re-labelling only
+the edges a moved boundary invalidated), and feeds each new transaction
+to the running :class:`~repro.core.redirects.RedirectInferencer`.
+Per-transaction cost is therefore O(log n + affected edges) instead of
+a full rebuild — and nothing at all for the (common) watched sessions
+whose graph is never requested.  The one exception is an out-of-order arrival (a transaction
+stamped earlier than one already ingested): that falls back to a full
+replay in stable timestamp order, which keeps the result identical to
+the batch path by construction.
+
+:func:`build_wcg` is a feed-once wrapper over the same machinery — the
+batch and the on-the-wire graphs cannot drift because they are produced
+by the same per-transaction mutation sequence (see DESIGN.md §9 and the
+differential tests in ``tests/detection/test_wcg_incremental_equivalence.py``).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+
 from repro.core.model import HttpTransaction, Trace
-from repro.core.redirects import Redirect, infer_redirects
-from repro.core.stages import Stage, assign_stages
+from repro.core.redirects import RedirectInferencer
+from repro.core.stages import Stage, StageAssigner
 from repro.core.wcg import EdgeData, EdgeKind, NodeKind, WebConversationGraph
 from repro.core.payloads import is_exploit_type
 from repro.exceptions import GraphConstructionError
@@ -21,40 +41,63 @@ __all__ = ["WCGBuilder", "build_wcg"]
 
 def _origin_of(transactions: list[HttpTransaction]) -> str:
     """The enticement origin: referrer host of the earliest transaction."""
-    for txn in sorted(transactions, key=lambda t: t.timestamp):
-        ref = txn.request.referrer_host
-        if ref:
-            return ref
-        return ""  # first transaction has no referrer -> origin unknown
-    return ""
+    if not transactions:
+        return ""
+    first = min(transactions, key=lambda t: t.timestamp)
+    return first.request.referrer_host or ""
 
 
 class WCGBuilder:
     """Incremental WCG builder.
 
-    Feed transactions with :meth:`add`; call :meth:`build` to (re)label
-    stages, infer redirect edges, and return the annotated graph.  The
-    on-the-wire detector reuses one builder per watched session so that
-    each new transaction triggers an incremental graph update
-    (Section V-B, "WCG classification and update").
+    Feed transactions with :meth:`add` (a constant-time append);
+    :meth:`build` drains the pending transactions into the live graph —
+    new nodes/edges are appended, stages of already-ingested edges are
+    re-labelled only when an arrival moved a stage boundary, and
+    redirect edges are inferred from each new transaction alone.  The
+    returned graph is the *same object* across calls, grown in place,
+    which is what lets downstream caches key on the graph's ``version``
+    counters.  The on-the-wire detector
+    reuses one builder per watched session (Section V-B, "WCG
+    classification and update").
     """
 
     def __init__(self, victim: str | None = None, origin: str | None = None):
         self._victim = victim
         self._origin = origin
         self._transactions: list[HttpTransaction] = []
-        self._dirty = True
-        self._cached: WebConversationGraph | None = None
+        # Added but not yet ingested; drained on the next build().
+        self._pending: list[HttpTransaction] = []
+        self._wcg: WebConversationGraph | None = None
+        self._assigner: StageAssigner | None = None
+        self._inferencer: RedirectInferencer | None = None
+        # Request timestamps in ingest order — non-decreasing, so the
+        # list is sorted and position == assigner seq.
+        self._stamps: list[float] = []
+        # Per-seq (request EdgeData, response EdgeData | None) for
+        # in-place stage re-labelling.
+        self._txn_edges: list[tuple[EdgeData, EdgeData | None]] = []
+        # Redirect EdgeData in add order + a (timestamp, index) key list
+        # kept sorted for windowed re-staging.
+        self._redirect_edges: list[EdgeData] = []
+        self._redirect_keys: list[tuple[float, int]] = []
+        self._max_ts = float("-inf")
 
     def add(self, txn: HttpTransaction) -> None:
-        """Append one transaction to the conversation."""
+        """Record one transaction; graph work is deferred to :meth:`build`.
+
+        Most watched sessions are never scored (no clue ever fires), so
+        the expensive part — edge appends, stage bookkeeping, redirect
+        inference — runs lazily when the graph is actually requested.
+        ``add`` itself is a constant-time append.
+        """
         self._transactions.append(txn)
-        self._dirty = True
+        self._pending.append(txn)
 
     def extend(self, transactions: list[HttpTransaction]) -> None:
         """Append many transactions at once."""
-        self._transactions.extend(transactions)
-        self._dirty = True
+        for txn in transactions:
+            self.add(txn)
 
     @property
     def transaction_count(self) -> int:
@@ -62,121 +105,161 @@ class WCGBuilder:
         return len(self._transactions)
 
     def build(self) -> WebConversationGraph:
-        """Construct (or return the cached) annotated WCG."""
-        if not self._dirty and self._cached is not None:
-            return self._cached
-        if not self._transactions:
+        """Return the live annotated WCG, ingesting any pending adds."""
+        self._drain()
+        if self._wcg is None:
             raise GraphConstructionError("no transactions to build a WCG from")
-        transactions = sorted(self._transactions, key=lambda t: t.timestamp)
-        victim = self._victim or transactions[0].client
-        origin = self._origin if self._origin is not None else _origin_of(transactions)
-        wcg = WebConversationGraph(victim=victim, origin=origin)
+        return self._wcg
 
-        stages = assign_stages(transactions)
-        redirects = infer_redirects(transactions)
-        self._add_transaction_edges(wcg, transactions, stages)
-        self._add_redirect_edges(wcg, transactions, stages, redirects)
-        self._link_origin(wcg, transactions)
-        self._cached = wcg
-        self._dirty = False
-        return wcg
+    # -- incremental machinery ---------------------------------------------
 
-    @staticmethod
-    def _add_transaction_edges(
-        wcg: WebConversationGraph,
-        transactions: list[HttpTransaction],
-        stages: list[Stage],
-    ) -> None:
-        for txn, stage in zip(transactions, stages):
-            request = txn.request
-            wcg.add_node(txn.client, kind=NodeKind.VICTIM if txn.client ==
-                         wcg.victim else NodeKind.REMOTE)
-            wcg.add_node(txn.server)
-            wcg.record_uri(txn.server, request.uri)
-            if request.dnt:
-                wcg.dnt = True
-            flash = request.headers.get("X-Flash-Version")
-            if flash:
-                wcg.x_flash_version = flash
-            wcg.add_edge(
-                txn.client,
-                txn.server,
-                EdgeData(
-                    kind=EdgeKind.REQUEST,
-                    timestamp=request.timestamp,
-                    stage=stage,
-                    method=request.method.value,
-                    uri_length=request.uri_length,
-                    referrer=request.referrer,
-                    user_agent=request.user_agent,
-                ),
+    def _drain(self) -> None:
+        """Ingest the pending transactions into the live graph."""
+        pending, self._pending = self._pending, []
+        for txn in pending:
+            if self._wcg is not None and txn.timestamp < self._max_ts:
+                # Late (out-of-order) arrival: the canonical feed order
+                # is the stable timestamp sort, so replay from scratch
+                # (``_transactions`` already holds every pending txn).
+                # Live capture emits at response completion, which is
+                # almost always in request order, so this path is rare.
+                self._replay()
+                return
+            self._ingest(txn)
+
+    def _replay(self) -> None:
+        """Re-ingest everything in stable timestamp order."""
+        ordered = sorted(self._transactions, key=lambda t: t.timestamp)
+        self._wcg = None
+        self._assigner = None
+        self._inferencer = None
+        self._stamps = []
+        self._txn_edges = []
+        self._redirect_edges = []
+        self._redirect_keys = []
+        self._max_ts = float("-inf")
+        for txn in ordered:
+            self._ingest(txn)
+
+    def _ingest(self, txn: HttpTransaction) -> None:
+        if self._wcg is None:
+            victim = self._victim or txn.client
+            origin = (
+                self._origin
+                if self._origin is not None
+                else txn.request.referrer_host or ""
             )
-            if txn.response is None:
-                continue
+            self._wcg = WebConversationGraph(victim=victim, origin=origin)
+            self._assigner = StageAssigner()
+            self._inferencer = RedirectInferencer()
+        wcg = self._wcg
+        seq = len(self._txn_edges)
+
+        changes = self._assigner.add(txn)
+        stage = self._assigner.current_stage(seq)
+
+        request = txn.request
+        wcg.add_node(txn.client, kind=NodeKind.VICTIM if txn.client ==
+                     wcg.victim else NodeKind.REMOTE)
+        wcg.add_node(txn.server)
+        wcg.record_uri(txn.server, request.uri)
+        if request.dnt:
+            wcg.dnt = True
+        flash = request.headers.get("X-Flash-Version")
+        if flash:
+            wcg.x_flash_version = flash
+        request_edge = EdgeData(
+            kind=EdgeKind.REQUEST,
+            timestamp=request.timestamp,
+            stage=stage,
+            method=request.method.value,
+            uri_length=request.uri_length,
+            referrer=request.referrer,
+            user_agent=request.user_agent,
+        )
+        wcg.add_edge(txn.client, txn.server, request_edge)
+        response_edge: EdgeData | None = None
+        if txn.response is not None:
             ptype = txn.payload_type
             wcg.record_payload(txn.server, ptype)
-            wcg.add_edge(
-                txn.server,
-                txn.client,
-                EdgeData(
-                    kind=EdgeKind.RESPONSE,
-                    timestamp=txn.response.timestamp,
-                    stage=stage,
-                    status=txn.status,
-                    payload_type=ptype,
-                    payload_size=txn.payload_size,
-                ),
+            response_edge = EdgeData(
+                kind=EdgeKind.RESPONSE,
+                timestamp=txn.response.timestamp,
+                stage=stage,
+                status=txn.status,
+                payload_type=ptype,
+                payload_size=txn.payload_size,
             )
+            wcg.add_edge(txn.server, txn.client, response_edge)
             if (
                 200 <= txn.status < 300
                 and is_exploit_type(ptype)
                 and txn.client == wcg.victim
             ):
                 wcg.mark_malicious(txn.server)
+        self._txn_edges.append((request_edge, response_edge))
+        self._stamps.append(txn.timestamp)
+        self._max_ts = txn.timestamp
 
-    @staticmethod
-    def _add_redirect_edges(
-        wcg: WebConversationGraph,
-        transactions: list[HttpTransaction],
-        stages: list[Stage],
-        redirects: list[Redirect],
-    ) -> None:
-        # Stage of a redirect edge = stage of the nearest transaction at
-        # or before the redirect's timestamp.
-        stamped = sorted(
-            zip((t.timestamp for t in transactions), stages), key=lambda p: p[0]
-        )
+        # Apply the bounded re-labelling the new arrival caused.
+        relabel_floor = txn.timestamp
+        for other, new_stage in changes:
+            if other == seq:
+                continue
+            other_request, other_response = self._txn_edges[other]
+            other_request.stage = new_stage
+            if other_response is not None:
+                other_response.stage = new_stage
+            if self._stamps[other] < relabel_floor:
+                relabel_floor = self._stamps[other]
 
-        def _stage_at(ts: float) -> Stage:
-            chosen = Stage.PRE_DOWNLOAD
-            for stamp, stage in stamped:
-                if stamp <= ts:
-                    chosen = stage
-                else:
-                    break
-            return chosen
+        if seq == 0:
+            self._link_origin(wcg, txn)
 
-        for redirect in redirects:
+        # Redirect edges observed by this transaction, staged at the
+        # nearest ingested transaction at-or-before their timestamp.
+        for redirect in self._inferencer.observe(txn):
             wcg.add_node(redirect.source, kind=NodeKind.REDIRECTOR)
             wcg.add_node(redirect.target)
-            wcg.add_edge(
-                redirect.source,
-                redirect.target,
-                EdgeData(
-                    kind=EdgeKind.REDIRECT,
-                    timestamp=redirect.timestamp,
-                    stage=_stage_at(redirect.timestamp),
-                    redirect_kind=redirect.kind.value,
-                    cross_domain=redirect.cross_domain,
-                ),
+            redirect_edge = EdgeData(
+                kind=EdgeKind.REDIRECT,
+                timestamp=redirect.timestamp,
+                stage=self._stage_at(redirect.timestamp),
+                redirect_kind=redirect.kind.value,
+                cross_domain=redirect.cross_domain,
             )
+            wcg.add_edge(redirect.source, redirect.target, redirect_edge)
+            index = len(self._redirect_edges)
+            self._redirect_edges.append(redirect_edge)
+            # In-order ingest ⇒ the new key sorts at (or near) the end.
+            key = (redirect.timestamp, index)
+            at = bisect_right(self._redirect_keys, key)
+            self._redirect_keys.insert(at, key)
+
+        # Re-stage redirect edges whose governing transaction may have
+        # changed: any at-or-after the earliest re-labelled (or new)
+        # transaction timestamp.  Earlier redirects are governed by
+        # transactions whose stages did not move.
+        start = bisect_left(self._redirect_keys, (relabel_floor, -1))
+        for stamp, index in self._redirect_keys[start:]:
+            self._redirect_edges[index].stage = self._stage_at(stamp)
+
+    def _stage_at(self, ts: float) -> Stage:
+        """Stage of the nearest transaction at or before ``ts``.
+
+        ``_stamps`` is non-decreasing and position == assigner seq, so a
+        bisect replaces the former linear scan; ties resolve to the
+        highest seq, matching the stable-sort semantics of the batch
+        algorithm.
+        """
+        index = bisect_right(self._stamps, ts) - 1
+        if index < 0:
+            return Stage.PRE_DOWNLOAD
+        return self._assigner.current_stage(index)
 
     @staticmethod
-    def _link_origin(
-        wcg: WebConversationGraph, transactions: list[HttpTransaction]
-    ) -> None:
+    def _link_origin(wcg: WebConversationGraph, first: HttpTransaction) -> None:
         """Connect the origin node to the first host the victim visited."""
-        first = min(transactions, key=lambda t: t.timestamp)
         target = first.server
         if wcg.origin == target:
             return
@@ -198,12 +281,20 @@ def build_wcg(
     victim: str | None = None,
     origin: str | None = None,
 ) -> WebConversationGraph:
-    """One-shot WCG construction from a trace or transaction list."""
-    builder = WCGBuilder(victim=victim, origin=origin)
+    """One-shot WCG construction from a trace or transaction list.
+
+    Feed-once wrapper over the incremental :class:`WCGBuilder`:
+    transactions are fed in stable timestamp order, so the batch result
+    is — by construction — identical to the live graph a per-transaction
+    feed converges to.
+    """
     if isinstance(source, Trace):
-        builder.extend(source.transactions)
+        transactions = source.transactions
         if origin is None and source.origin:
-            builder._origin = source.origin
+            origin = source.origin
     else:
-        builder.extend(source)
+        transactions = source
+    builder = WCGBuilder(victim=victim, origin=origin)
+    for txn in sorted(transactions, key=lambda t: t.timestamp):
+        builder.add(txn)
     return builder.build()

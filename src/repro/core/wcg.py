@@ -8,12 +8,27 @@ attributes and ``beta`` edge attributes.  We realize it on a
 ``networkx.MultiDiGraph`` so that parallel edges of different kinds
 between the same host pair coexist, and expose the annotated views that
 feature extraction (``repro.features``) consumes.
+
+To make the on-the-wire path cheap, the graph maintains running
+aggregates as it mutates:
+
+* :class:`GraphCounters` — integer tallies (edge kinds, methods, status
+  classes, URI totals, degree maximum, distinct host pairs) that back
+  the cheap feature tier without any edge iteration.
+* ``version`` — bumped on every feature-bearing mutation; callers cache
+  derived values (the 37-vector, a classifier score) keyed on it.
+* ``structure_version`` — bumped only when the *simple-graph* structure
+  changes (a new node, or a first edge between a host pair).  Expensive
+  topology features (diameter, centralities, connectivity, clustering)
+  depend only on that structure, so they are recomputed only when this
+  counter moves.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from bisect import insort
+from dataclasses import dataclass, field, replace
 from typing import Iterator
 
 import networkx as nx
@@ -21,7 +36,8 @@ import networkx as nx
 from repro.core.payloads import PayloadSummary, PayloadType
 from repro.core.stages import Stage
 
-__all__ = ["NodeKind", "EdgeKind", "EdgeData", "WebConversationGraph"]
+__all__ = ["NodeKind", "EdgeKind", "EdgeData", "GraphCounters",
+           "WebConversationGraph"]
 
 #: Node name used for the synthetic origin node when the enticement
 #: source is unknown (referrer concealed), per Section III-B.
@@ -79,6 +95,42 @@ class _NodeData:
     payloads: PayloadSummary = field(default_factory=PayloadSummary)
 
 
+@dataclass
+class GraphCounters:
+    """Running integer aggregates maintained by WCG mutations.
+
+    Every value here is an exact tally — the cheap feature tier reads
+    them directly instead of re-walking the edge list, and because they
+    are integers the derived feature values are bit-identical to the
+    edge-walk formulation.
+    """
+
+    request_edges: int = 0
+    response_edges: int = 0
+    redirect_edges: int = 0
+    gets: int = 0
+    posts: int = 0
+    other_methods: int = 0
+    with_referrer: int = 0
+    without_referrer: int = 0
+    status_classes: dict[int, int] = field(
+        default_factory=lambda: {1: 0, 2: 0, 3: 0, 4: 0, 5: 0}
+    )
+    #: Hosts with at least one recorded URI / distinct URIs / their bytes.
+    uri_hosts: int = 0
+    total_uris: int = 0
+    total_uri_length: int = 0
+    #: Max total degree over the multigraph (degrees only ever grow).
+    max_degree: int = 0
+    #: Distinct ``(source, target)`` pairs == simple-digraph edge count.
+    distinct_pairs: int = 0
+
+    def copy(self) -> "GraphCounters":
+        clone = replace(self)
+        clone.status_classes = dict(self.status_classes)
+        return clone
+
+
 class WebConversationGraph:
     """An annotated WCG for one client conversation.
 
@@ -92,10 +144,51 @@ class WebConversationGraph:
         self._graph = nx.MultiDiGraph()
         self.victim = victim
         self.origin = origin or EMPTY_ORIGIN
-        self.dnt = False
-        self.x_flash_version: str = ""
+        self._dnt = False
+        self._x_flash_version: str = ""
+        self._version = 0
+        self._structure_version = 0
+        self.counters = GraphCounters()
+        self._degrees: dict[str, int] = {}
+        self._pair_multiplicity: dict[tuple[str, str], int] = {}
+        self._timestamps: list[float] = []
+        self._request_stamps: list[float] = []
         self.add_node(self.origin, kind=NodeKind.ORIGIN)
         self.add_node(victim, kind=NodeKind.VICTIM)
+
+    # --- change tracking -------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Bumped on every feature-bearing mutation (cache key)."""
+        return self._version
+
+    @property
+    def structure_version(self) -> int:
+        """Bumped only when the simple-graph structure changes."""
+        return self._structure_version
+
+    @property
+    def dnt(self) -> bool:
+        """True when any request in the conversation carried DNT."""
+        return self._dnt
+
+    @dnt.setter
+    def dnt(self, value: bool) -> None:
+        if value != self._dnt:
+            self._dnt = value
+            self._version += 1
+
+    @property
+    def x_flash_version(self) -> str:
+        """The last X-Flash-Version header observed (feature f2)."""
+        return self._x_flash_version
+
+    @x_flash_version.setter
+    def x_flash_version(self, value: str) -> None:
+        if value != self._x_flash_version:
+            self._x_flash_version = value
+            self._version += 1
 
     # --- structure -------------------------------------------------------
 
@@ -119,6 +212,9 @@ class WebConversationGraph:
                 data.ip = ip
             return
         self._graph.add_node(host, data=_NodeData(kind=kind, ip=ip))
+        self._degrees[host] = 0
+        self._version += 1
+        self._structure_version += 1
 
     def mark_malicious(self, host: str) -> None:
         """Designate a node malicious (it served an exploit payload)."""
@@ -134,6 +230,46 @@ class WebConversationGraph:
         self.add_node(source)
         self.add_node(target)
         self._graph.add_edge(source, target, data=data)
+        self._version += 1
+
+        degree = self._degrees[source] + 1
+        self._degrees[source] = degree
+        if degree > self.counters.max_degree:
+            self.counters.max_degree = degree
+        degree = self._degrees[target] + 1
+        self._degrees[target] = degree
+        if degree > self.counters.max_degree:
+            self.counters.max_degree = degree
+
+        pair = (source, target)
+        multiplicity = self._pair_multiplicity.get(pair, 0)
+        self._pair_multiplicity[pair] = multiplicity + 1
+        if multiplicity == 0:
+            self.counters.distinct_pairs += 1
+            self._structure_version += 1
+
+        insort(self._timestamps, data.timestamp)
+        counters = self.counters
+        if data.kind is EdgeKind.REQUEST:
+            counters.request_edges += 1
+            if data.method == "GET":
+                counters.gets += 1
+            elif data.method == "POST":
+                counters.posts += 1
+            else:
+                counters.other_methods += 1
+            if data.referrer:
+                counters.with_referrer += 1
+            else:
+                counters.without_referrer += 1
+            insort(self._request_stamps, data.timestamp)
+        elif data.kind is EdgeKind.RESPONSE:
+            counters.response_edges += 1
+            klass = data.status // 100
+            if klass in counters.status_classes:
+                counters.status_classes[klass] += 1
+        else:
+            counters.redirect_edges += 1
 
     def node_data(self, host: str) -> _NodeData:
         """The ``alpha`` record for ``host``."""
@@ -142,7 +278,15 @@ class WebConversationGraph:
     def record_uri(self, host: str, uri: str) -> None:
         """Track a URI observed for ``host`` (URIs-per-host annotation)."""
         self.add_node(host)
-        self.node_data(host).uris.add(uri)
+        uris = self.node_data(host).uris
+        if uri in uris:
+            return
+        if not uris:
+            self.counters.uri_hosts += 1
+        uris.add(uri)
+        self.counters.total_uris += 1
+        self.counters.total_uri_length += len(uri)
+        self._version += 1
 
     def record_payload(self, host: str, ptype: PayloadType) -> None:
         """Track a payload exchanged with ``host``."""
@@ -198,13 +342,17 @@ class WebConversationGraph:
         return self.origin != EMPTY_ORIGIN
 
     def timestamps(self) -> list[float]:
-        """All edge timestamps, ascending."""
-        return sorted(data.timestamp for _, _, data in self.edges())
+        """All edge timestamps, ascending (maintained sorted, not re-sorted)."""
+        return list(self._timestamps)
+
+    def request_timestamps(self) -> list[float]:
+        """Request-edge timestamps, ascending.  Treat as read-only."""
+        return self._request_stamps
 
     @property
     def duration(self) -> float:
         """Conversation duration in seconds (graph-level annotation)."""
-        stamps = self.timestamps()
+        stamps = self._timestamps
         if len(stamps) < 2:
             return 0.0
         return stamps[-1] - stamps[0]
@@ -229,29 +377,47 @@ class WebConversationGraph:
         Edge multiplicity is preserved as a ``weight`` attribute; graph
         analytics that are multiplicity-sensitive (degree, volume) read
         the multigraph instead.
+
+        Nodes and adjacencies are inserted in sorted order, so the
+        projection — and every float computed over it — is a canonical
+        function of the graph's *content*, independent of the order in
+        which the builder happened to insert nodes and edges.  The
+        incremental and batch construction paths interleave insertions
+        differently; this is what keeps their feature vectors
+        bit-identical (see DESIGN.md §9).
         """
         simple = nx.DiGraph()
-        for host in self._graph.nodes:
+        for host in sorted(self._graph.nodes):
             if not include_origin and host == self.origin:
                 continue
             simple.add_node(host)
-        for source, target, data in self.edges():
+        for source, target in sorted(self._pair_multiplicity):
             if not include_origin and self.origin in (source, target):
                 continue
-            if simple.has_edge(source, target):
-                simple[source][target]["weight"] += 1
-            else:
-                simple.add_edge(source, target, weight=1)
+            simple.add_edge(
+                source, target, weight=self._pair_multiplicity[(source, target)]
+            )
         return simple
 
     def copy(self) -> "WebConversationGraph":
-        """Deep-enough copy for incremental what-if evaluation."""
+        """Deep-enough copy for incremental what-if evaluation.
+
+        Edge records are duplicated — the live builder re-labels stages
+        in place, and that must not leak into clones.
+        """
         clone = WebConversationGraph.__new__(WebConversationGraph)
         clone._graph = nx.MultiDiGraph()
         clone.victim = self.victim
         clone.origin = self.origin
-        clone.dnt = self.dnt
-        clone.x_flash_version = self.x_flash_version
+        clone._dnt = self._dnt
+        clone._x_flash_version = self._x_flash_version
+        clone._version = self._version
+        clone._structure_version = self._structure_version
+        clone.counters = self.counters.copy()
+        clone._degrees = dict(self._degrees)
+        clone._pair_multiplicity = dict(self._pair_multiplicity)
+        clone._timestamps = list(self._timestamps)
+        clone._request_stamps = list(self._request_stamps)
         for host, attrs in self._graph.nodes(data=True):
             data: _NodeData = attrs["data"]
             copied = _NodeData(kind=data.kind, ip=data.ip)
@@ -259,7 +425,7 @@ class WebConversationGraph:
             copied.payloads.counts = dict(data.payloads.counts)
             clone._graph.add_node(host, data=copied)
         for source, target, attrs in self._graph.edges(data=True):
-            clone._graph.add_edge(source, target, data=attrs["data"])
+            clone._graph.add_edge(source, target, data=replace(attrs["data"]))
         return clone
 
     def __repr__(self) -> str:

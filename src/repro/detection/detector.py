@@ -7,6 +7,13 @@ watch — extracts the WCG's features and queries the trained ERF on every
 meaningful update.  An infectious verdict raises an :class:`Alert` and
 terminates the session; a benign verdict keeps the watch open until the
 session stops growing.
+
+Detector state is bounded: per-watch scoring bookkeeping is dropped the
+moment a watch terminates, the session table prunes closed and stale
+watches (see :mod:`repro.detection.monitor`), and the per-client alert
+cooldown map is swept once it outgrows ``alert_state_cap``.  Scoring
+itself leans on the WCG's version counters — an unchanged graph is never
+re-extracted or re-scored.
 """
 
 from __future__ import annotations
@@ -52,6 +59,13 @@ class DetectorConfig:
     #: terminating "the corresponding session" (Section V-B) means one
     #: incident-level alert, not one per fragment.
     alert_cooldown: float = 180.0
+    #: Idle horizon after which clue-less session watches are dropped
+    #: from the table.  ``None`` = the table default,
+    #: ``max(20 * idle_gap, 1200)``.
+    prune_after: float | None = None
+    #: Once the per-client cooldown map exceeds this many entries, drop
+    #: the clients whose last alert is several cooldown windows old.
+    alert_state_cap: int = 4096
 
 
 class OnTheWireDetector:
@@ -76,10 +90,12 @@ class OnTheWireDetector:
         # sink — compare against None explicitly.
         self.sink = sink if sink is not None else ListSink()
         self._table = SessionTable(policy=self.policy,
-                                   idle_gap=self.config.idle_gap)
+                                   idle_gap=self.config.idle_gap,
+                                   prune_after=self.config.prune_after)
         self._extractor = FeatureExtractor()
         self._updates_since_score: dict[str, int] = {}
         self._scored_order: dict[str, int] = {}
+        self._scored_version: dict[str, int] = {}
         self._last_alert_ts: dict[str, float] = {}
         self.transactions_seen = 0
         self.transactions_weeded = 0
@@ -124,7 +140,10 @@ class OnTheWireDetector:
             if watch.active_clue is not None and not watch.alerted \
                     and not watch.terminated:
                 self._score(watch, watch.last_ts)
-        return self._table.expire(now)
+        expired = self._table.expire(now)
+        for watch in expired:
+            self._forget(watch.key)
+        return expired
 
     # -- scoring ------------------------------------------------------------
 
@@ -144,11 +163,17 @@ class OnTheWireDetector:
 
     def _score(self, watch: SessionWatch, now: float) -> Alert | None:
         wcg = watch.wcg()
+        if self._scored_version.get(watch.key) == wcg.version:
+            # Nothing feature-bearing changed since the last score, and
+            # that score did not alert (the watch would be terminated) —
+            # the verdict is already known to be sub-threshold.
+            return None
         features = self._extractor.extract(wcg).reshape(1, -1)
         score = float(self.classifier.decision_scores(features)[0])
         self.classifications += 1
         self._updates_since_score[watch.key] = 1
         self._scored_order[watch.key] = wcg.order
+        self._scored_version[watch.key] = wcg.version
         if score < self.config.alert_threshold:
             return None
         last = self._last_alert_ts.get(watch.client)
@@ -161,8 +186,10 @@ class OnTheWireDetector:
             self._last_alert_ts[watch.client] = max(last, now)
             watch.alerted = True
             watch.terminated = True
+            self._forget(watch.key)
             return None
         self._last_alert_ts[watch.client] = now
+        self._sweep_alert_state()
         alert = Alert(
             client=watch.client,
             score=score,
@@ -174,8 +201,35 @@ class OnTheWireDetector:
         )
         watch.alerted = True
         watch.terminated = True  # DynaMiner terminates infectious sessions
+        self._forget(watch.key)
         self.sink.emit(alert)
         return alert
+
+    def _forget(self, key: str) -> None:
+        """Drop per-watch scoring state once the watch is closed."""
+        self._updates_since_score.pop(key, None)
+        self._scored_order.pop(key, None)
+        self._scored_version.pop(key, None)
+
+    def _sweep_alert_state(self) -> None:
+        """Bound the per-client cooldown map.
+
+        Entries several cooldown windows behind the newest alert can
+        never suppress anything again; drop them once the map outgrows
+        the cap.  (If every entry is recent the map stays large — those
+        entries are still load-bearing.)
+        """
+        if len(self._last_alert_ts) <= self.config.alert_state_cap:
+            return
+        horizon = (
+            max(self._last_alert_ts.values())
+            - 4.0 * self.config.alert_cooldown
+        )
+        self._last_alert_ts = {
+            client: stamp
+            for client, stamp in self._last_alert_ts.items()
+            if stamp >= horizon
+        }
 
     # -- introspection --------------------------------------------------------
 
@@ -188,4 +242,15 @@ class OnTheWireDetector:
 
     def watch_count(self) -> int:
         """Number of session watches opened so far."""
-        return len(self._table.watches())
+        return self._table.opened_count
+
+    def tracked_state_size(self) -> tuple[int, int, int]:
+        """(live watches, per-watch score entries, cooldown entries) —
+        the three containers the boundedness regression test pins."""
+        return (
+            len(self._table.watches()),
+            len(self._updates_since_score)
+            + len(self._scored_order)
+            + len(self._scored_version),
+            len(self._last_alert_ts),
+        )

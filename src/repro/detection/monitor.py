@@ -5,6 +5,16 @@ list, its incremental WCG builder, and its clue detector.  The
 :class:`SessionTable` clusters an interleaved multi-client stream into
 watches using session IDs with the referrer/timestamp fallback heuristic
 — the streaming counterpart of :func:`repro.core.sessions.group_sessions`.
+
+The table's memory is bounded: terminated watches are dropped from the
+routing structures (``route()`` would only skip over them), and watches
+that never produced an infection clue are closed once they have been
+idle longer than ``prune_after`` — on a busy wire, benign conversations
+vastly outnumber suspicious ones, and keeping them around forever made
+both the per-client scan and the process footprint grow without limit.
+Clue-active watches are never auto-pruned; they stay until the detector
+delivers their final verdict (alert, cooldown suppression, or the
+end-of-capture classification in ``finalize``).
 """
 
 from __future__ import annotations
@@ -12,12 +22,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.builder import WCGBuilder
-from repro.core.model import HttpTransaction
+from repro.core.model import HttpMethod, HttpTransaction
 from repro.core.sessions import extract_session_id
 from repro.core.wcg import WebConversationGraph
 from repro.detection.clues import ClueDetector, CluePolicy, InfectionClue
 
 __all__ = ["SessionWatch", "SessionTable"]
+
+#: Full-table sweep cadence: every this-many routed transactions the
+#: table drops prunable watches for *all* clients (the per-route prune
+#: only touches the active client's list).
+_SWEEP_INTERVAL = 256
 
 
 @dataclass
@@ -58,7 +73,9 @@ class SessionWatch:
         return clue
 
     def wcg(self) -> WebConversationGraph:
-        """The (cached, incrementally rebuilt) WCG for this session."""
+        """The live WCG for this session — grown in place on every
+        :meth:`add`, so repeated calls return the same (current) graph
+        object and downstream caches can key on its version counters."""
         return self._builder.build()
 
     def matches(self, txn: HttpTransaction, session_id: str,
@@ -79,8 +96,6 @@ class SessionWatch:
         # POST from the same client to a never-seen host inside the
         # activity window is grouped with the ongoing conversation —
         # exactly the shape of a post-infection call-back.
-        from repro.core.model import HttpMethod
-
         return (
             txn.request.method is HttpMethod.POST
             and not ref
@@ -92,14 +107,38 @@ class SessionTable:
     """Clusters a live transaction stream into per-session watches."""
 
     def __init__(self, policy: CluePolicy | None = None,
-                 idle_gap: float = 60.0):
+                 idle_gap: float = 60.0,
+                 prune_after: float | None = None):
         self.policy = policy or CluePolicy()
         self.idle_gap = idle_gap
+        #: Idle horizon after which a clue-less watch is closed and
+        #: dropped.  Far larger than ``idle_gap`` so the session-ID
+        #: match (which ignores the idle gap) keeps working across
+        #: realistic pauses; bounded so it cannot keep working forever.
+        self.prune_after = (
+            prune_after if prune_after is not None
+            else max(20.0 * idle_gap, 1200.0)
+        )
         self._watches: dict[str, list[SessionWatch]] = {}
         self._serial = 0
+        self._closed = 0
+        self._now = float("-inf")
+        self._routed = 0
+
+    @property
+    def opened_count(self) -> int:
+        """Total watches ever opened (pruning does not decrease this)."""
+        return self._serial
 
     def route(self, txn: HttpTransaction) -> SessionWatch:
         """Find (or open) the watch that owns ``txn`` and ingest it."""
+        if txn.timestamp > self._now:
+            self._now = txn.timestamp
+        self._routed += 1
+        if self._routed % _SWEEP_INTERVAL == 0:
+            self.sweep()
+        else:
+            self._prune_client(txn.client)
         session_id = extract_session_id(txn)
         candidates = self._watches.setdefault(txn.client, [])
         chosen: SessionWatch | None = None
@@ -121,17 +160,55 @@ class SessionTable:
         return chosen
 
     def watches(self) -> list[SessionWatch]:
-        """All watches, across clients."""
+        """All retained watches, across clients."""
         return [w for group in self._watches.values() for w in group]
 
     def expire(self, now: float) -> list[SessionWatch]:
         """Terminate watches idle past the gap ("the WCG stops growing").
 
-        Returns the watches terminated by this sweep.
+        Returns the watches terminated by this sweep; afterwards every
+        terminated watch is dropped from the routing structures.
         """
+        if now > self._now:
+            self._now = now
         expired = []
         for watch in self.watches():
             if not watch.terminated and now - watch.last_ts > self.idle_gap:
                 watch.terminated = True
                 expired.append(watch)
+        self.sweep()
         return expired
+
+    # -- pruning ----------------------------------------------------------
+
+    def _prunable(self, watch: SessionWatch) -> bool:
+        if watch.terminated:
+            return True
+        return (
+            watch.active_clue is None
+            and self._now - watch.last_ts > self.prune_after
+        )
+
+    def _prune_client(self, client: str) -> None:
+        group = self._watches.get(client)
+        if not group:
+            return
+        kept = [w for w in group if not self._drop_if_prunable(w)]
+        if kept:
+            if len(kept) != len(group):
+                self._watches[client] = kept
+        else:
+            del self._watches[client]
+
+    def _drop_if_prunable(self, watch: SessionWatch) -> bool:
+        if not self._prunable(watch):
+            return False
+        if not watch.terminated:
+            watch.terminated = True
+        self._closed += 1
+        return True
+
+    def sweep(self) -> None:
+        """Drop every prunable watch, for all clients."""
+        for client in list(self._watches):
+            self._prune_client(client)

@@ -3,9 +3,24 @@
 The extractor walks the registry order so vector index ``i`` always
 corresponds to ``FEATURES[i]``; subset selection for the Table III
 ablation happens downstream via :func:`repro.features.registry.indices_of_groups`.
+
+Extraction is tiered for the on-the-wire path:
+
+* the cheap tier (high-level, header, temporal, scalar graph features)
+  reads the WCG's running counters — O(1) per feature;
+* the expensive topology tier is cached per graph and recomputed only
+  when ``structure_version`` moves (a new node or new host pair);
+* the assembled 37-vector is cached per graph keyed on ``version``, so
+  scoring an unchanged WCG never re-extracts anything.
+
+Both caches are :class:`weakref.WeakKeyDictionary` keyed on the graph
+object — entries vanish with their graph, so a long-lived extractor
+inside the detector cannot accumulate state for dead sessions.
 """
 
 from __future__ import annotations
+
+import weakref
 
 import numpy as np
 
@@ -13,7 +28,7 @@ from repro.core.builder import build_wcg
 from repro.core.model import Trace
 from repro.core.wcg import WebConversationGraph
 from repro.exceptions import FeatureError
-from repro.features.graph import graph_features
+from repro.features.graph import scalar_graph_features, topology_features
 from repro.features.header import header_features
 from repro.features.high_level import high_level_features
 from repro.features.registry import FEATURES, NUM_FEATURES
@@ -25,13 +40,34 @@ __all__ = ["FeatureExtractor", "extract_features", "extract_matrix",
 
 
 class FeatureExtractor:
-    """Stateless extractor of the 37 payload-agnostic features."""
+    """Extractor of the 37 payload-agnostic features.
+
+    Semantically stateless — the same WCG always yields the same vector
+    — but carries per-graph memoization so repeated extraction of a
+    live, growing WCG only pays for what actually changed.
+    """
+
+    def __init__(self) -> None:
+        self._vector_cache: "weakref.WeakKeyDictionary[WebConversationGraph, tuple[int, np.ndarray]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._topology_cache: "weakref.WeakKeyDictionary[WebConversationGraph, tuple[int, dict[str, float]]]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def extract(self, wcg: WebConversationGraph) -> np.ndarray:
-        """Feature vector for one WCG, in registry order."""
+        """Feature vector for one WCG, in registry order.
+
+        The returned array is shared with the cache and marked
+        read-only; copy it before mutating.
+        """
+        cached = self._vector_cache.get(wcg)
+        if cached is not None and cached[0] == wcg.version:
+            return cached[1]
         values: dict[str, float] = {}
         values.update(high_level_features(wcg))
-        values.update(graph_features(wcg))
+        values.update(scalar_graph_features(wcg))
+        values.update(self._topology(wcg))
         values.update(header_features(wcg))
         values.update(temporal_features(wcg))
         vector = np.empty(NUM_FEATURES, dtype=np.float64)
@@ -45,7 +81,18 @@ class FeatureExtractor:
         if not np.all(np.isfinite(vector)):
             bad = [FEATURES[i].name for i in np.where(~np.isfinite(vector))[0]]
             raise FeatureError(f"non-finite feature values: {bad}")
+        vector.flags.writeable = False
+        self._vector_cache[wcg] = (wcg.version, vector)
         return vector
+
+    def _topology(self, wcg: WebConversationGraph) -> dict[str, float]:
+        """The expensive tier, memoized on the graph's structure version."""
+        cached = self._topology_cache.get(wcg)
+        if cached is not None and cached[0] == wcg.structure_version:
+            return cached[1]
+        values = topology_features(wcg)
+        self._topology_cache[wcg] = (wcg.structure_version, values)
+        return values
 
     def extract_trace(self, trace: Trace) -> np.ndarray:
         """Build the WCG for a trace and extract its features."""

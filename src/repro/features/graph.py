@@ -5,6 +5,19 @@ into weights) except where the paper's definition is explicitly
 multiplicity-sensitive (size, volume, degree, in/out degree, which read
 the multigraph).
 
+The nineteen features split into two cost tiers:
+
+* :func:`scalar_graph_features` — order/size/degree/density/volume and
+  the degree averages.  All are exact functions of the integer counters
+  the WCG maintains per mutation, so reading them is O(1).
+* :func:`topology_features` — diameter, reciprocity, centralities,
+  connectivity, clustering, k-hop reach.  These run real graph
+  algorithms, but every one of them is *multiplicity-invariant*: it
+  depends only on the node set and the set of distinct host pairs (none
+  consults the ``weight`` attribute).  They therefore only change when
+  ``WebConversationGraph.structure_version`` moves, which is what lets
+  the extractor cache them across edge-multiplicity-only updates.
+
 Note on ``avg_pagerank``: the mean of PageRank values over all nodes is
 identically ``1/order``.  Table IV confirms the authors computed exactly
 this — Avg-pagerank, Avg-load-centrality, Avg-closeness-centrality and
@@ -20,8 +33,8 @@ import numpy as np
 
 from repro.core.wcg import WebConversationGraph
 
-__all__ = ["graph_features", "average_node_connectivity_sampled",
-           "avg_nodes_within_k"]
+__all__ = ["graph_features", "scalar_graph_features", "topology_features",
+           "average_node_connectivity_sampled", "avg_nodes_within_k"]
 
 #: Pair-sample cap for average node connectivity on large graphs.
 _CONNECTIVITY_PAIR_CAP = 120
@@ -83,21 +96,44 @@ def _mean(values) -> float:
     return float(np.mean(collected))
 
 
-def graph_features(wcg: WebConversationGraph) -> dict[str, float]:
-    """Compute f7–f25 for one WCG."""
-    multi = wcg.graph
+def scalar_graph_features(wcg: WebConversationGraph) -> dict[str, float]:
+    """The counter-backed graph features — O(1), no graph traversal.
+
+    Each value is an exact integer identity of the edge-walk
+    formulation: max degree is a running maximum (degrees only grow),
+    volume is twice the edge count (every edge contributes one in- and
+    one out-degree), density reads the distinct-pair counter that equals
+    the simple digraph's edge count.
+    """
+    counters = wcg.counters
+    order = wcg.order
+    size = wcg.size
+    return {
+        "order": float(order),
+        "size": float(size),
+        "degree": float(counters.max_degree) if order else 0.0,
+        "density": (
+            counters.distinct_pairs / (order * (order - 1))
+            if order > 1
+            else 0.0
+        ),
+        "volume": float(2 * size),
+        "avg_in_degree": size / order if order else 0.0,
+        "avg_out_degree": size / order if order else 0.0,
+        # Paper-faithful: mean PageRank == 1/order exactly (PageRank
+        # values sum to 1 over the graph; see module docstring), so the
+        # power iteration is pure waste — compute the identity directly.
+        "avg_pagerank": 1.0 / order if order > 0 else 0.0,
+    }
+
+
+def topology_features(wcg: WebConversationGraph) -> dict[str, float]:
+    """The algorithmic graph features — recompute only on structure change."""
     simple = wcg.simple_graph()
     undirected = simple.to_undirected()
-    order = multi.number_of_nodes()
-    size = multi.number_of_edges()
+    order = simple.number_of_nodes()
 
     features: dict[str, float] = {}
-    features["order"] = float(order)
-    features["size"] = float(size)
-    degrees = [d for _, d in multi.degree()]
-    features["degree"] = float(max(degrees)) if degrees else 0.0
-    features["density"] = nx.density(simple) if order > 1 else 0.0
-    features["volume"] = float(sum(degrees))
     if order > 1 and nx.is_connected(undirected):
         features["diameter"] = float(nx.diameter(undirected))
     elif order > 1:
@@ -112,8 +148,6 @@ def graph_features(wcg: WebConversationGraph) -> dict[str, float]:
         )
     else:
         features["diameter"] = 0.0
-    features["avg_in_degree"] = size / order if order else 0.0
-    features["avg_out_degree"] = size / order if order else 0.0
     features["reciprocity"] = (
         float(nx.overall_reciprocity(simple))
         if simple.number_of_edges() > 0
@@ -143,8 +177,11 @@ def graph_features(wcg: WebConversationGraph) -> dict[str, float]:
     degree_conn = nx.average_degree_connectivity(undirected)
     features["avg_degree_connectivity"] = _mean(degree_conn.values())
     features["avg_k_nearest_neighbors"] = avg_nodes_within_k(undirected, k=2)
-    # Paper-faithful: mean PageRank == 1/order exactly (PageRank values
-    # sum to 1 over the graph; see module docstring), so the power
-    # iteration is pure waste — compute the identity directly.
-    features["avg_pagerank"] = 1.0 / order if order > 0 else 0.0
+    return features
+
+
+def graph_features(wcg: WebConversationGraph) -> dict[str, float]:
+    """Compute f7–f25 for one WCG (both tiers, uncached)."""
+    features = scalar_graph_features(wcg)
+    features.update(topology_features(wcg))
     return features

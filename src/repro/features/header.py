@@ -2,47 +2,30 @@
 
 These capture the statistical signature of post-infection dynamics
 (Section IV-B): GET/POST mix, response-code class counts, and
-referrer-presence counters.
+referrer-presence counters.  All ten are direct reads of the tallies
+the WCG updates per edge-add — no edge iteration.
 """
 
 from __future__ import annotations
 
-from repro.core.wcg import EdgeKind, WebConversationGraph
+from repro.core.wcg import WebConversationGraph
 
 __all__ = ["header_features"]
-
-_COMMON_METHODS = {"GET", "POST"}
 
 
 def header_features(wcg: WebConversationGraph) -> dict[str, float]:
     """Compute f26–f35 for one WCG."""
-    gets = posts = others = 0
-    with_ref = without_ref = 0
-    for _, _, data in wcg.edges(EdgeKind.REQUEST):
-        if data.method == "GET":
-            gets += 1
-        elif data.method == "POST":
-            posts += 1
-        else:
-            others += 1
-        if data.referrer:
-            with_ref += 1
-        else:
-            without_ref += 1
-    status_counts = {1: 0, 2: 0, 3: 0, 4: 0, 5: 0}
-    for _, _, data in wcg.edges(EdgeKind.RESPONSE):
-        klass = data.status // 100
-        if klass in status_counts:
-            status_counts[klass] += 1
+    counters = wcg.counters
+    status = counters.status_classes
     return {
-        "gets": float(gets),
-        "posts": float(posts),
-        "other_methods": float(others),
-        "http_10x": float(status_counts[1]),
-        "http_20x": float(status_counts[2]),
-        "http_30x": float(status_counts[3]),
-        "http_40x": float(status_counts[4]),
-        "http_50x": float(status_counts[5]),
-        "referrer_ctrs": float(with_ref),
-        "no_referrer_ctrs": float(without_ref),
+        "gets": float(counters.gets),
+        "posts": float(counters.posts),
+        "other_methods": float(counters.other_methods),
+        "http_10x": float(status[1]),
+        "http_20x": float(status[2]),
+        "http_30x": float(status[3]),
+        "http_40x": float(status[4]),
+        "http_50x": float(status[5]),
+        "referrer_ctrs": float(counters.with_referrer),
+        "no_referrer_ctrs": float(counters.without_referrer),
     }

@@ -1,4 +1,10 @@
-"""High-level aggregate features f1–f6 (Table II, HLFs)."""
+"""High-level aggregate features f1–f6 (Table II, HLFs).
+
+All six are exact functions of the running counters the WCG maintains
+(:class:`repro.core.wcg.GraphCounters`), so extraction is O(1): the
+divisions below operate on the same integers the former host/edge walk
+accumulated, making the values bit-identical to the walk formulation.
+"""
 
 from __future__ import annotations
 
@@ -9,27 +15,24 @@ __all__ = ["high_level_features"]
 
 def high_level_features(wcg: WebConversationGraph) -> dict[str, float]:
     """Compute f1–f6 for one WCG."""
-    request_edges = wcg.request_edges()
-    uris_per_host: list[int] = []
-    uri_lengths: list[int] = []
-    for host in wcg.hosts():
-        data = wcg.node_data(host)
-        if data.uris:
-            uris_per_host.append(len(data.uris))
-            uri_lengths.extend(len(uri) for uri in data.uris)
-    num_hosts = len(wcg.remote_hosts()) + 1  # remotes + victim
-
-    total_uris = sum(uris_per_host)
+    counters = wcg.counters
+    # Remote hosts = all nodes minus the victim and origin nodes (which
+    # coincide when the victim name equals the origin name).
+    remotes = wcg.order - (1 if wcg.victim == wcg.origin else 2)
     return {
         "origin": 1.0 if wcg.has_known_origin else 0.0,
         "x_flash_version": 1.0 if wcg.x_flash_version else 0.0,
         # WCG-Size: conversation volume in transactions (request edges).
-        "wcg_size": float(len(request_edges)),
-        "conversation_length": float(num_hosts),
+        "wcg_size": float(counters.request_edges),
+        "conversation_length": float(remotes + 1),  # remotes + victim
         "avg_uris_per_host": (
-            total_uris / len(uris_per_host) if uris_per_host else 0.0
+            counters.total_uris / counters.uri_hosts
+            if counters.uri_hosts
+            else 0.0
         ),
         "avg_uri_length": (
-            sum(uri_lengths) / len(uri_lengths) if uri_lengths else 0.0
+            counters.total_uri_length / counters.total_uris
+            if counters.total_uris
+            else 0.0
         ),
     }

@@ -126,14 +126,19 @@ class TestIncrementalBuilder:
         second = builder.build()
         assert first is second
 
-    def test_cache_invalidation_on_add(self, simple_trace):
+    def test_add_grows_live_graph_in_place(self, simple_trace):
+        # The builder maintains one live graph: add() appends into it
+        # (bumping its version) instead of building a replacement.
         builder = WCGBuilder()
         builder.extend(simple_trace.transactions[:2])
         first = builder.build()
+        size_before = first.size
+        version_before = first.version
         builder.add(simple_trace.transactions[2])
         second = builder.build()
-        assert second is not first
-        assert second.size > first.size
+        assert second is first
+        assert second.size > size_before
+        assert second.version > version_before
 
     def test_transaction_count(self, simple_trace):
         builder = WCGBuilder()

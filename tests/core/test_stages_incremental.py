@@ -1,0 +1,226 @@
+"""Property tests for the resumable stage assigner.
+
+The incremental :class:`StageAssigner` must agree with the original
+batch three-sweep algorithm on *every prefix of every feed order* —
+including the nasty cases where a late-arriving 30x or exploit-20x
+moves a stage boundary backwards or forwards over already-labelled
+transactions.  The three-sweep algorithm is reproduced verbatim below
+as the oracle so the equivalence is checked against the independent
+formulation, not against the code under test.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import HttpMethod, HttpTransaction
+from repro.core.payloads import is_exploit_type
+from repro.core.stages import Stage, StageAssigner, assign_stages
+from tests.conftest import make_txn
+
+_HOSTS = ["a.com", "b.net", "c.org", "d.io"]
+_STATUSES = [200, 204, 301, 302, 304, 404, 500, 0]
+
+_EXPLOIT_CT = "application/x-msdownload"
+
+
+def _oracle(transactions: list[HttpTransaction]) -> list[Stage]:
+    """The seed batch algorithm, three sweeps over the sorted stream."""
+    if not transactions:
+        return []
+    order = sorted(range(len(transactions)),
+                   key=lambda i: transactions[i].timestamp)
+
+    first_exploit_ts: float | None = None
+    last_exploit_ts: float | None = None
+    exploit_hosts: set[str] = set()
+    for index in order:
+        txn = transactions[index]
+        if txn.response is None:
+            continue
+        if 200 <= txn.status < 300 and is_exploit_type(txn.payload_type):
+            exploit_hosts.add(txn.server)
+            if first_exploit_ts is None:
+                first_exploit_ts = txn.response.timestamp
+            last_exploit_ts = txn.response.timestamp
+
+    last_30x_ts: float | None = None
+    for index in order:
+        txn = transactions[index]
+        if txn.request.method is not HttpMethod.GET:
+            continue
+        if not 300 <= txn.status < 400:
+            continue
+        if first_exploit_ts is not None and txn.timestamp >= first_exploit_ts:
+            continue
+        last_30x_ts = txn.response.timestamp if txn.response else txn.timestamp
+
+    stages: list[Stage] = [Stage.DOWNLOAD] * len(transactions)
+    for index in order:
+        txn = transactions[index]
+        is_post_method = txn.request.method is HttpMethod.POST
+        response_ts = txn.response.timestamp if txn.response else txn.timestamp
+        if (
+            txn.request.method is HttpMethod.GET
+            and 300 <= txn.status < 400
+            and (first_exploit_ts is None or txn.timestamp < first_exploit_ts)
+        ):
+            stages[index] = Stage.PRE_DOWNLOAD
+            continue
+        if (
+            last_30x_ts is not None
+            and response_ts <= last_30x_ts
+            and not is_post_method
+        ):
+            stages[index] = Stage.PRE_DOWNLOAD
+            continue
+        if (
+            is_post_method
+            and txn.server not in exploit_hosts
+            and (txn.status == 200 or 400 <= txn.status < 500
+                 or txn.status == 0)
+            and last_exploit_ts is not None
+            and txn.timestamp >= last_exploit_ts
+        ):
+            stages[index] = Stage.POST_DOWNLOAD
+            continue
+        stages[index] = Stage.DOWNLOAD
+    return stages
+
+
+def _txn_from(spec) -> HttpTransaction:
+    host_index, is_post, status, exploit, ts_units, delay_units = spec
+    return make_txn(
+        host=_HOSTS[host_index],
+        uri=f"/r/{status}",
+        ts=ts_units * 0.5,
+        method=HttpMethod.POST if is_post else HttpMethod.GET,
+        status=status,
+        content_type=_EXPLOIT_CT if exploit else "text/html",
+        res_delay=delay_units * 0.25,
+    )
+
+
+_SPEC = st.tuples(
+    st.integers(min_value=0, max_value=len(_HOSTS) - 1),  # host
+    st.booleans(),                                        # POST?
+    st.sampled_from(_STATUSES),
+    st.booleans(),                                        # exploit payload?
+    st.integers(min_value=0, max_value=30),               # ts (ties likely)
+    st.integers(min_value=0, max_value=8),                # response delay
+)
+_STREAMS = st.lists(_SPEC, min_size=0, max_size=24)
+
+
+class TestAgainstOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(_STREAMS)
+    def test_batch_wrapper_matches_three_sweep(self, specs):
+        txns = [_txn_from(s) for s in specs]
+        assert assign_stages(txns) == _oracle(txns)
+
+    @settings(max_examples=120, deadline=None)
+    @given(_STREAMS)
+    def test_every_prefix_matches_cold_rebuild(self, specs):
+        # Feed in arrival order (arbitrary, out-of-order, tied
+        # timestamps); after every single add the incremental state must
+        # equal the three-sweep run on exactly the fed prefix.
+        txns = [_txn_from(s) for s in specs]
+        assigner = StageAssigner()
+        for count, txn in enumerate(txns, start=1):
+            assigner.add(txn)
+            assert assigner.stages() == _oracle(txns[:count]), (
+                f"divergence after prefix of {count}"
+            )
+
+
+class TestBoundaryMoves:
+    """Targeted regressions for boundary-moving late arrivals."""
+
+    def _feed(self, txns):
+        assigner = StageAssigner()
+        for txn in txns:
+            assigner.add(txn)
+        return assigner
+
+    def test_late_exploit_moves_first_boundary_backward(self):
+        # A 30x at t=10 is PRE_DOWNLOAD while no exploit landed; an
+        # exploit 20x arriving late with an *earlier* timestamp (t=5)
+        # invalidates rule 1 for it (10 >= 5) and must flip it.
+        txns = [
+            make_txn(host="hop.com", ts=10.0, status=302, content_type=""),
+            make_txn(host="ek.pw", ts=5.0, content_type=_EXPLOIT_CT),
+        ]
+        assigner = self._feed(txns)
+        assert assigner.stages() == _oracle(txns)
+        assert assigner.stages()[0] is Stage.DOWNLOAD
+
+    def test_late_exploit_extends_last_boundary(self):
+        # A qualifying POST at t=20 is POST_DOWNLOAD after the exploit
+        # at t=10; a second exploit arriving with t=30 moves the
+        # last-exploit boundary past the POST, demoting it.
+        txns = [
+            make_txn(host="ek.pw", ts=10.0, content_type=_EXPLOIT_CT),
+            make_txn(host="cnc.xyz", ts=20.0, method=HttpMethod.POST,
+                     content_type="text/plain"),
+            make_txn(host="ek2.pw", ts=30.0, content_type=_EXPLOIT_CT),
+        ]
+        assigner = StageAssigner()
+        assigner.add(txns[0])
+        assigner.add(txns[1])
+        assert assigner.current_stage(1) is Stage.POST_DOWNLOAD
+        changes = assigner.add(txns[2])
+        assert (1, Stage.DOWNLOAD) in changes
+        assert assigner.stages() == _oracle(txns)
+
+    def test_late_30x_extends_pre_download(self):
+        # A landing-page 20x fetch at t=12 is DOWNLOAD until a later
+        # 30x (t=15, still before any exploit) extends the run-up
+        # window over its response timestamp.
+        txns = [
+            make_txn(host="hop.com", ts=10.0, status=302, content_type=""),
+            make_txn(host="land.com", ts=12.0),
+            make_txn(host="hop2.com", ts=15.0, status=302, content_type=""),
+        ]
+        assigner = StageAssigner()
+        assigner.add(txns[0])
+        assigner.add(txns[1])
+        assert assigner.current_stage(1) is Stage.DOWNLOAD
+        changes = assigner.add(txns[2])
+        assert (1, Stage.PRE_DOWNLOAD) in changes
+        assert assigner.stages() == _oracle(txns)
+
+    def test_exploit_host_disqualifies_posts(self):
+        # A POST to a host is POST_DOWNLOAD until that very host turns
+        # out to serve exploit payloads.
+        txns = [
+            make_txn(host="ek.pw", ts=10.0, content_type=_EXPLOIT_CT),
+            make_txn(host="dual.com", ts=20.0, method=HttpMethod.POST,
+                     content_type="text/plain"),
+            make_txn(host="dual.com", ts=6.0, content_type=_EXPLOIT_CT),
+        ]
+        assigner = StageAssigner()
+        assigner.add(txns[0])
+        assigner.add(txns[1])
+        assert assigner.current_stage(1) is Stage.POST_DOWNLOAD
+        changes = assigner.add(txns[2])
+        assert (1, Stage.DOWNLOAD) in changes
+        assert assigner.stages() == _oracle(txns)
+
+    def test_late_exploit_collapses_last_30x(self):
+        # The landing fetch rides on the last-30x boundary; an exploit
+        # arriving with a timestamp *before* the 30x disqualifies the
+        # 30x entirely, collapsing the boundary to None.
+        txns = [
+            make_txn(host="hop.com", ts=10.0, status=302, content_type=""),
+            make_txn(host="land.com", ts=9.0),
+            make_txn(host="ek.pw", ts=8.0, content_type=_EXPLOIT_CT),
+        ]
+        assigner = StageAssigner()
+        for txn in txns[:2]:
+            assigner.add(txn)
+        assert assigner.current_stage(1) is Stage.PRE_DOWNLOAD
+        assigner.add(txns[2])
+        assert assigner.stages() == _oracle(txns)
+        assert assigner.current_stage(1) is Stage.DOWNLOAD
