@@ -1,0 +1,210 @@
+"""Forest-inference scaling bench: compiled arena vs. object trees.
+
+The compiled engine (`repro.learning.compiled`) flattens every fitted
+tree into struct-of-arrays form, stacks a forest's trees into one arena,
+and traverses level-wise with vectorized index stepping — O(depth) numpy
+ops per batch instead of O(rows x nodes) Python dispatch.  Its contract
+is *byte-identical* output to the object-tree walk (pinned per-corner in
+``tests/learning/test_compiled.py``); this bench pins the point of the
+exercise — the speedup — so inference scaling regressions fail the PR:
+
+* a 10k-row batch through the paper-default forest (N_t=20) must score
+  at least 10x faster compiled than object (measured ~14x);
+* single-row scoring (the per-update on-the-wire cost) must not regress
+  versus the object walk;
+* the detector end to end — micro-batched scoring on the compiled
+  engine vs. per-transaction scoring on object trees — must be faster
+  on a classification-bound multi-client stream (eight watched clients
+  under sustained classifier scrutiny), with identical verdict counts.
+
+Every timing is best-of-N (``BENCH_ROUNDS``, floored at 3): ratio
+floors compare *capabilities*, and one descheduled round would flake
+them.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.detection.clues import CluePolicy
+from repro.detection.detector import DetectorConfig, OnTheWireDetector
+from repro.experiments.context import trained_classifier
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from tests.conftest import make_txn
+
+#: Best-of-N rounds; floored at 3 so single-round CI smoke still takes
+#: a defensible minimum (one noisy round would flake the ratio floors).
+ROUNDS = max(3, int(os.environ.get("BENCH_ROUNDS", "5")))
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    return trained_classifier(BENCH_SEED, BENCH_SCALE)
+
+
+@pytest.fixture(scope="module")
+def probe():
+    rng = np.random.default_rng(41)
+    return np.abs(rng.normal(size=(10_000, 37))) * 10
+
+
+def _suspicious_client(client: str, offset: float, count: int = 150):
+    """One watched client: a referrer-linked 3-hop redirect chain into a
+    risky (but non-exploit) archive download fires the clue, then bounded
+    chatter keeps the watch under classifier scrutiny."""
+    chain = ["hop-a.example", "hop-b.example", "hop-c.example",
+             "land.example"]
+    txns = []
+    for hop in range(3):
+        txns.append(make_txn(
+            host=chain[hop], uri="/r", ts=100.0 + offset + hop * 0.02,
+            client=client, status=302, content_type="",
+            referrer=f"http://{chain[hop - 1]}/r" if hop else "",
+            extra_res_headers={"Location": f"http://{chain[hop + 1]}/r"},
+        ))
+    txns.append(make_txn(
+        host="land.example", uri="/bundle.zip", ts=100.07 + offset,
+        client=client, content_type="application/zip",
+        referrer="http://hop-c.example/r",
+    ))
+    hosts = [f"asset-{index}.example" for index in range(8)]
+    for index in range(count - len(txns)):
+        txns.append(make_txn(
+            host=hosts[index % len(hosts)], uri=f"/a/{index % 97}",
+            ts=100.2 + offset + index * 0.05, client=client,
+            referrer="http://land.example/bundle.zip",
+        ))
+    return txns
+
+
+@pytest.fixture(scope="module")
+def stream():
+    """Eight watched clients interleaved at sub-transaction offsets: the
+    busy-tap shape where a decoder batch mixes clients, so deferred
+    classifications coalesce into full-width matrix calls."""
+    merged = []
+    for index in range(8):
+        merged.extend(_suspicious_client(f"client-{index}",
+                                         offset=index * 0.005))
+    merged.sort(key=lambda t: t.request.timestamp)
+    return merged
+
+
+def _timed(fn, rounds):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _with_engine(classifier, engine, fn):
+    previous = classifier.engine
+    classifier.engine = engine
+    try:
+        return fn()
+    finally:
+        classifier.engine = previous
+
+
+def test_bench_batch_inference(benchmark, classifier, probe):
+    """10k-row ``predict_proba``: the offline / cross-validation shape."""
+    compiled_proba = benchmark.pedantic(
+        lambda: _with_engine(classifier, "compiled",
+                             lambda: classifier.predict_proba(probe)),
+        rounds=ROUNDS, iterations=1, warmup_rounds=1,
+    )
+    compiled_time = benchmark.stats.stats.min
+    object_time, object_proba = _timed(
+        lambda: _with_engine(classifier, "object",
+                             lambda: classifier.predict_proba(probe)),
+        ROUNDS,
+    )
+    # Speed must not buy drift: the engines are bit-for-bit equal.
+    assert np.array_equal(compiled_proba, object_proba)
+
+    speedup = object_time / compiled_time
+    print(f"\nbatch inference (10k rows, {len(classifier.trees_)} trees): "
+          f"compiled {compiled_time * 1e3:.1f} ms, "
+          f"object {object_time * 1e3:.1f} ms ({speedup:.1f}x)")
+    # The acceptance bar from ISSUE 4 (measured ~14x; asserted at the
+    # stated floor).
+    assert speedup >= 10
+
+
+def test_bench_single_row_latency(classifier, probe):
+    """One-row ``decision_scores``: the per-update on-the-wire cost."""
+    row = probe[:1]
+    rounds = max(200, ROUNDS * 100)
+    compiled_time, compiled_score = _timed(
+        lambda: _with_engine(classifier, "compiled",
+                             lambda: classifier.decision_scores(row)),
+        rounds,
+    )
+    object_time, object_score = _timed(
+        lambda: _with_engine(classifier, "object",
+                             lambda: classifier.decision_scores(row)),
+        rounds,
+    )
+    assert np.array_equal(compiled_score, object_score)
+    print(f"\nsingle-row scoring: compiled {compiled_time * 1e6:.0f} us, "
+          f"object {object_time * 1e6:.0f} us")
+    # The vectorized path must not trade away the latency floor the
+    # live deployment depends on (generous bound: CI boxes are noisy).
+    assert compiled_time < object_time * 2
+
+
+def test_bench_detector_end_to_end(classifier, stream):
+    """Micro-batched + compiled vs. per-transaction + object trees.
+
+    The config pins the classification-bound operating point: re-score
+    every watch update (``reclassify_interval=1``) and never terminate
+    the watches (a threshold no probability reaches), so all eight
+    clients stay under scrutiny for the whole stream and the scoring
+    hot path — not watch churn — is what gets timed.  Alert/cooldown
+    equivalence under batching is pinned separately, on alerting
+    streams, in ``tests/detection/test_batch_scoring.py``.
+    """
+    config = DetectorConfig(alert_threshold=2.0, reclassify_interval=1)
+
+    def _replay(engine, chunk):
+        def _run():
+            detector = OnTheWireDetector(
+                classifier, policy=CluePolicy(redirect_threshold=3),
+                config=config,
+            )
+            if chunk is None:
+                for txn in stream:
+                    detector.process(txn)
+            else:
+                for start in range(0, len(stream), chunk):
+                    detector.process_batch(stream[start:start + chunk])
+            detector.finalize()
+            return detector
+
+        return _timed(lambda: _with_engine(classifier, engine, _run),
+                      ROUNDS)
+
+    batched_time, batched = _replay("compiled", 64)
+    sequential_time, sequential = _replay("object", None)
+
+    # Batching must not change what the detector *does* — only when the
+    # classifier runs.
+    assert batched.classifications == sequential.classifications
+    assert batched.classifications > 500  # non-vacuous: scoring-bound
+    assert batched.alerts == sequential.alerts
+
+    rate = len(stream) / batched_time
+    speedup = sequential_time / batched_time
+    print(f"\ndetector end to end: batched+compiled "
+          f"{batched_time * 1e3:.1f} ms, sequential+object "
+          f"{sequential_time * 1e3:.1f} ms ({speedup:.2f}x, "
+          f"{rate:,.0f} txn/s over {len(stream)} transactions, "
+          f"{batched.classifications} classifications)")
+    # The classifier is one cost among several (routing, WCG upkeep,
+    # feature extraction), so the end-to-end win is bounded by its
+    # share; measured ~1.25x, asserted with CI-noise headroom.
+    assert speedup >= 1.1

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.model import HttpTransaction
 from repro.core.payloads import is_exploit_type
 from repro.detection.alerts import Alert, AlertSink, ListSink
@@ -66,6 +68,25 @@ class DetectorConfig:
     #: Once the per-client cooldown map exceeds this many entries, drop
     #: the clients whose last alert is several cooldown windows old.
     alert_state_cap: int = 4096
+
+
+@dataclass
+class _PendingScore:
+    """One classification request awaiting the (micro-batched) ERF call.
+
+    Everything the verdict depends on — the feature row and the WCG's
+    order/size at request time — is captured here, so deferring the
+    classifier call cannot observe later graph growth.  The batching
+    flush rule (no second transaction of the same client routes while
+    one of its watches has a pending score) guarantees the graph in
+    fact cannot grow before the flush.
+    """
+
+    watch: SessionWatch
+    now: float
+    vector: "np.ndarray"
+    wcg_order: int
+    wcg_size: int
 
 
 class OnTheWireDetector:
@@ -119,27 +140,74 @@ class OnTheWireDetector:
         return self._score(watch, txn.timestamp)
 
     def process_stream(self, transactions: list[HttpTransaction]) -> list[Alert]:
-        """Replay an ordered stream; returns all alerts raised."""
-        alerts = []
+        """Replay an ordered stream; returns all alerts raised.
+
+        Routes through :meth:`process_batch`, so consecutive
+        classifications of *different* clients coalesce into matrix
+        calls; alerts, scores, and counters are byte-identical to
+        calling :meth:`process` per transaction.
+        """
+        return self.process_batch(transactions)
+
+    def process_batch(self, transactions: list[HttpTransaction]) -> list[Alert]:
+        """Ingest the transactions of one decoder batch/tick.
+
+        Classification requests accumulate and are scored as **one**
+        classifier matrix call (:meth:`score_batch`) instead of one
+        single-row call each.  Semantics are identical to sequential
+        :meth:`process` because pending scores are flushed before any
+        transaction of a client that already has one is routed: a
+        transaction can only mutate (or be routed by) its own client's
+        watches, so at every flush point each pending watch's WCG, the
+        cooldown map, and the routing structures are exactly what the
+        sequential path saw.  Alerts dispatch in request order.
+        """
+        alerts: list[Alert] = []
+        pending: list[_PendingScore] = []
+        pending_clients: set[str] = set()
         for txn in transactions:
-            alert = self.process(txn)
-            if alert is not None:
-                alerts.append(alert)
+            self.transactions_seen += 1
+            if self.config.use_whitelist and self.whitelist.trusted(txn.server):
+                self.transactions_weeded += 1
+                continue
+            if txn.client in pending_clients:
+                alerts.extend(self.score_batch(pending))
+                pending.clear()
+                pending_clients.clear()
+            watch = self._table.route(txn)
+            if watch.alerted or watch.terminated:
+                continue
+            if watch.active_clue is None:
+                continue  # nothing suspicious yet; keep accumulating
+            if not self._should_score(watch, txn):
+                continue
+            request = self._request_score(watch, txn.timestamp)
+            if request is not None:
+                pending.append(request)
+                pending_clients.add(watch.client)
+        alerts.extend(self.score_batch(pending))
         return alerts
 
     def finalize(self, now: float | None = None) -> list[SessionWatch]:
         """Expire idle watches (end-of-capture); returns what was closed.
 
         Every clue-active watch gets one last classification before it
-        closes — the WCG "stops growing" verdict of Section V-B.
+        closes — the WCG "stops growing" verdict of Section V-B.  The
+        final verdicts are computed as one classifier matrix call and
+        dispatched in table order, so cross-watch cooldown suppression
+        behaves exactly as the sequential walk did.
         """
         if now is None:
             stamps = [w.last_ts for w in self._table.watches()]
             now = max(stamps, default=0.0) + self.config.idle_gap + 1.0
+        requests = []
         for watch in self._table.watches():
             if watch.active_clue is not None and not watch.alerted \
                     and not watch.terminated:
-                self._score(watch, watch.last_ts)
+                request = self._request_score(watch, watch.last_ts)
+                if request is not None:
+                    requests.append(request)
+        self.score_batch(requests)
         expired = self._table.expire(now)
         for watch in expired:
             self._forget(watch.key)
@@ -161,19 +229,67 @@ class OnTheWireDetector:
             return True  # a new host joined the conversation
         return count % self.config.reclassify_interval == 0
 
-    def _score(self, watch: SessionWatch, now: float) -> Alert | None:
+    def _request_score(
+        self, watch: SessionWatch, now: float
+    ) -> _PendingScore | None:
+        """Capture one classification request (features + bookkeeping).
+
+        The scoring-side bookkeeping happens here, at request time —
+        equivalent to the sequential path because the flush rule keeps
+        the watch untouched until the batched classifier call lands.
+        """
         wcg = watch.wcg()
         if self._scored_version.get(watch.key) == wcg.version:
             # Nothing feature-bearing changed since the last score, and
             # that score did not alert (the watch would be terminated) —
             # the verdict is already known to be sub-threshold.
             return None
-        features = self._extractor.extract(wcg).reshape(1, -1)
-        score = float(self.classifier.decision_scores(features)[0])
+        # The extractor's cached read-only vector is the scoring row;
+        # single requests score it as a 1-row view, batches stack it.
+        vector = self._extractor.extract(wcg)
         self.classifications += 1
         self._updates_since_score[watch.key] = 1
         self._scored_order[watch.key] = wcg.order
         self._scored_version[watch.key] = wcg.version
+        return _PendingScore(watch=watch, now=now, vector=vector,
+                             wcg_order=wcg.order, wcg_size=wcg.size)
+
+    def score_batch(self, requests: list[_PendingScore]) -> list[Alert]:
+        """Score pending requests as one matrix call; dispatch in order.
+
+        Per-row classifier output is independent of the other rows in
+        the matrix (both inference engines are elementwise across
+        rows), so each verdict is byte-identical to the single-row call
+        the sequential path would have made.
+        """
+        if not requests:
+            return []
+        if len(requests) == 1:
+            rows = requests[0].vector[None, :]
+        else:
+            rows = np.stack([request.vector for request in requests])
+        scores = self.classifier.decision_scores(rows)
+        alerts = []
+        for request, score in zip(requests, scores):
+            alert = self._dispatch(request, float(score))
+            if alert is not None:
+                alerts.append(alert)
+        return alerts
+
+    def _score(self, watch: SessionWatch, now: float) -> Alert | None:
+        """Request, score, and dispatch one watch immediately."""
+        request = self._request_score(watch, now)
+        if request is None:
+            return None
+        score = float(
+            self.classifier.decision_scores(request.vector[None, :])[0]
+        )
+        return self._dispatch(request, score)
+
+    def _dispatch(self, request: _PendingScore, score: float) -> Alert | None:
+        """Apply the verdict: threshold, cooldown, alert, terminate."""
+        watch = request.watch
+        now = request.now
         if score < self.config.alert_threshold:
             return None
         last = self._last_alert_ts.get(watch.client)
@@ -195,8 +311,8 @@ class OnTheWireDetector:
             score=score,
             clue=watch.active_clue,
             timestamp=now,
-            wcg_order=wcg.order,
-            wcg_size=wcg.size,
+            wcg_order=request.wcg_order,
+            wcg_size=request.wcg_size,
             session_key=watch.key,
         )
         watch.alerted = True

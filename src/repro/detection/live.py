@@ -96,23 +96,22 @@ class LiveDetector:
         self.transactions_emitted = 0
 
     def feed(self, packet: PcapPacket) -> list[Alert]:
-        """Ingest one packet; returns alerts raised by it (if any)."""
-        alerts: list[Alert] = []
-        for txn in self.decoder.feed(packet):
-            self.transactions_emitted += 1
-            alert = self.detector.process(txn)
-            if alert is not None:
-                alerts.append(alert)
-        return alerts
+        """Ingest one packet; returns alerts raised by it (if any).
+
+        The transactions a packet completes form one detector
+        micro-batch: their classifications coalesce into a single
+        classifier matrix call with per-transaction semantics unchanged
+        (see :meth:`OnTheWireDetector.process_batch`).
+        """
+        transactions = self.decoder.feed(packet)
+        self.transactions_emitted += len(transactions)
+        return self.detector.process_batch(transactions)
 
     def finish(self) -> list[Alert]:
         """Flush the decoder and finalize the detector's watches."""
-        alerts: list[Alert] = []
-        for txn in self.decoder.flush():
-            self.transactions_emitted += 1
-            alert = self.detector.process(txn)
-            if alert is not None:
-                alerts.append(alert)
+        transactions = self.decoder.flush()
+        self.transactions_emitted += len(transactions)
+        alerts = self.detector.process_batch(transactions)
         before = len(self.detector.alerts)
         self.detector.finalize()
         alerts.extend(self.detector.alerts[before:])

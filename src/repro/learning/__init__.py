@@ -5,9 +5,14 @@ paper's exact configuration as defaults: 20 trees, ``log2(F)+1`` features
 per split, probability-averaging vote (Section V-A).
 """
 
+from repro.learning.compiled import CompiledForest, compile_forest
 from repro.learning.crossval import CrossValResult, cross_validate, stratified_kfold
 from repro.learning.dataset import LabeledDataset, train_test_split
-from repro.learning.forest import EnsembleRandomForest, default_max_features
+from repro.learning.forest import (
+    EnsembleRandomForest,
+    default_engine,
+    default_max_features,
+)
 from repro.learning.metrics import (
     ConfusionMatrix,
     auc,
@@ -26,6 +31,7 @@ from repro.learning.ranking import RankedFeature, gain_ratio, rank_features
 from repro.learning.tree import DecisionTreeClassifier
 
 __all__ = [
+    "CompiledForest",
     "ConfusionMatrix",
     "CrossValResult",
     "DecisionTreeClassifier",
@@ -33,8 +39,10 @@ __all__ = [
     "LabeledDataset",
     "RankedFeature",
     "auc",
+    "compile_forest",
     "confusion",
     "cross_validate",
+    "default_engine",
     "default_max_features",
     "evaluate_scores",
     "forest_from_dict",

@@ -1,0 +1,228 @@
+"""Compiled-forest inference engine: flat arrays, vectorized traversal.
+
+The on-the-wire stage queries the ERF on every meaningful WCG update
+(Section VI), so classifier latency sits directly on the live detection
+path.  Walking linked ``_Node`` objects costs O(rows x trees x depth)
+Python iterations per call; this module compiles a fitted forest into a
+struct-of-arrays *arena* — one flat node table shared by all trees —
+and traverses it level-wise with vectorized index stepping, so a batch
+costs O(depth) numpy operations regardless of how many rows or trees it
+covers.
+
+Layout (a natural extension of the model-format-v2 flat node list):
+
+* every tree is flattened preorder (:func:`repro.learning.tree.flatten_nodes`)
+  and appended to the arena; child indices are rebased by the tree's
+  node offset, so they index straight into the arena;
+* ``feature[i] == -1`` marks a leaf; ``gather_feature`` clamps leaves
+  to column 0 so the traversal can gather unconditionally;
+* children pack into one array addressed ``child[2*i + go_left]``
+  (``child[2*i]`` = right, ``child[2*i + 1]`` = left), turning the
+  step into a single gather instead of two gathers plus a ``where``;
+  leaves self-loop (both slots point back at the leaf) so finished
+  (row, tree) lanes idle while deeper lanes keep descending;
+* ``leaf_proba[i]`` holds the leaf's class-probability row *already
+  scattered* into forest-class columns (the per-tree
+  ``searchsorted(forest_classes, tree_classes)`` alignment is baked in
+  at compile time, so inference never recomputes it);
+* ``leaf_vote[i]`` holds the forest-class column the leaf's argmax
+  lands on (ties to the lowest class label), precomputed for the
+  majority-voting mode;
+* ``depth`` is the deepest root-to-leaf path, measured at compile time,
+  so the traversal runs a fixed iteration count with no per-level
+  termination scan.
+
+Equivalence contract: every public method is **byte-identical** to the
+object-tree path.  The traversal applies the same IEEE comparison
+(``x <= threshold`` goes left; NaN compares false and goes right), and
+probability averaging accumulates per tree, in tree order, exactly like
+``EnsembleRandomForest.predict_proba`` — adding a pre-scattered row is
+bytewise the same as scattering then adding, because leaf probabilities
+are non-negative (no ``-0.0 + 0.0`` sign flips) and ``x + 0.0 == x``
+for every such ``x``.  ``tests/learning/test_compiled.py`` pins the
+contract on random, degenerate, and adversarial inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import LearningError
+from repro.learning.tree import DecisionTreeClassifier, flatten_nodes
+
+__all__ = ["CompiledForest", "compile_forest", "compile_tree_arrays"]
+
+
+def compile_tree_arrays(
+    tree: DecisionTreeClassifier,
+    columns: np.ndarray,
+    n_classes: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Flat struct-of-arrays form of one fitted tree.
+
+    Args:
+        tree: the fitted object tree.
+        columns: forest-class column of each tree-local class (the
+            cached ``searchsorted`` alignment from the forest).
+        n_classes: width of the forest's class axis.
+
+    Returns ``(feature, threshold, child, leaf_proba, leaf_vote, depth)``
+    with tree-local node indices (the arena rebases ``child``).
+    """
+    if tree._root is None:
+        raise LearningError("cannot compile an unfitted tree")
+    nodes = flatten_nodes(tree._root)
+    count = len(nodes)
+    feature = np.full(count, -1, dtype=np.intp)
+    threshold = np.zeros(count, dtype=np.float64)
+    # child[2*i] = right, child[2*i + 1] = left; leaves self-loop.
+    child = np.repeat(np.arange(count, dtype=np.intp), 2)
+    leaf_proba = np.zeros((count, n_classes), dtype=np.float64)
+    leaf_vote = np.zeros(count, dtype=np.intp)
+    # Preorder puts every parent before its children, so one forward
+    # sweep settles node depths.
+    level = np.zeros(count, dtype=np.intp)
+    depth = 0
+    for index, node in enumerate(nodes):
+        proba = node.get("proba")
+        if proba is None:
+            feature[index] = node["feature"]
+            threshold[index] = node["threshold"]
+            child[2 * index] = node["right"]
+            child[2 * index + 1] = node["left"]
+            level[node["left"]] = level[node["right"]] = level[index] + 1
+        else:
+            leaf_proba[index, columns] = proba
+            # argmax ties resolve to the first index — the lowest
+            # tree-local class, hence the lowest class label.
+            leaf_vote[index] = columns[int(np.argmax(proba))]
+            if level[index] > depth:
+                depth = int(level[index])
+    return feature, threshold, child, leaf_proba, leaf_vote, depth
+
+
+class CompiledForest:
+    """Arena of every tree in a fitted forest, traversed level-wise.
+
+    Instances are immutable snapshots of the forest they were compiled
+    from; refitting or mutating ``trees_`` requires recompilation (the
+    forest does this automatically on ``fit`` and on load).
+    """
+
+    def __init__(
+        self,
+        classes: np.ndarray,
+        n_features: int,
+        trees: list[tuple],
+    ):
+        if not trees:
+            raise LearningError("cannot compile an empty forest")
+        self.classes = np.asarray(classes)
+        self.n_features = int(n_features)
+        self.n_trees = len(trees)
+        offsets = np.zeros(self.n_trees, dtype=np.intp)
+        total = 0
+        for index, (feature, *_rest) in enumerate(trees):
+            offsets[index] = total
+            total += len(feature)
+        self.roots = offsets
+        self.node_count = total
+        self.feature = np.concatenate([t[0] for t in trees])
+        self.threshold = np.concatenate([t[1] for t in trees])
+        # Rebase child indices (self-loops included) into the arena.
+        self.child = np.concatenate(
+            [t[2] + offsets[i] for i, t in enumerate(trees)]
+        )
+        self.leaf_proba = np.vstack([t[3] for t in trees])
+        # Vote columns index classes, not nodes — no rebasing.
+        self.leaf_vote = np.concatenate([t[4] for t in trees])
+        self.depth = max(t[5] for t in trees)
+        #: Leaf lanes gather column 0; the comparison outcome is
+        #: irrelevant because both child slots self-loop.
+        self.gather_feature = np.maximum(self.feature, 0)
+
+    # -- traversal -----------------------------------------------------------
+
+    def _leaves(self, X: np.ndarray) -> np.ndarray:
+        """Leaf arena index per (row, tree): level-wise index stepping.
+
+        Each iteration advances every (row, tree) lane one level:
+        gather the lane's split feature and threshold, compare, and
+        step through the packed child table.  Lanes parked on a leaf
+        self-loop, so running exactly ``depth`` iterations (the arena's
+        deepest path, measured at compile time) lands every lane on its
+        leaf — O(depth) numpy operations for the whole batch, with no
+        per-level termination scan.  NaN feature values compare False
+        and step right, identical to the object walk's
+        ``row[feature] <= threshold`` branch.
+        """
+        rows = X.shape[0]
+        pos = np.repeat(self.roots[None, :], rows, axis=0)
+        if rows == 0 or self.depth == 0:
+            return pos
+        flat = np.ascontiguousarray(X).reshape(-1)
+        row_offset = (np.arange(rows, dtype=np.intp)
+                      * self.n_features)[:, None]
+        gather_feature = self.gather_feature
+        threshold, child = self.threshold, self.child
+        for _ in range(self.depth):
+            values = flat.take(row_offset + gather_feature.take(pos))
+            go_left = values <= threshold.take(pos)
+            pos = child.take((pos << 1) + go_left)
+        return pos
+
+    def _validate(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise LearningError(
+                f"expected shape (*, {self.n_features}), got {X.shape}"
+            )
+        return X
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability-averaged class matrix (the paper's ERF vote).
+
+        Accumulates per tree in tree order so the result is bytewise
+        what the object path's scatter-and-add produces.
+        """
+        X = self._validate(X)
+        pos = self._leaves(X)
+        total = np.zeros((len(X), len(self.classes)))
+        for index in range(self.n_trees):
+            total += self.leaf_proba[pos[:, index]]
+        return total / self.n_trees
+
+    def vote_fractions(self, X: np.ndarray) -> np.ndarray:
+        """Hard-vote fractions (the ``voting="majority"`` ablation).
+
+        Per-leaf argmax columns are precomputed with ties resolved to
+        the lowest class label.
+        """
+        X = self._validate(X)
+        pos = self._leaves(X)
+        votes = np.zeros((len(X), len(self.classes)))
+        row_index = np.arange(len(X))
+        for index in range(self.n_trees):
+            votes[row_index, self.leaf_vote[pos[:, index]]] += 1.0
+        return votes / self.n_trees
+
+
+def compile_forest(forest) -> CompiledForest:
+    """Compile a fitted :class:`EnsembleRandomForest` into an arena.
+
+    Uses the forest's cached per-tree class-column alignment, so the
+    compiled leaves carry rows already scattered to forest-class
+    columns.
+    """
+    if not forest.trees_:
+        raise LearningError("cannot compile an unfitted forest")
+    n_classes = len(forest._classes)
+    n_features = forest.trees_[0].n_features_
+    columns = forest._tree_columns()
+    trees = [
+        compile_tree_arrays(tree, columns[index], n_classes)
+        for index, tree in enumerate(forest.trees_)
+    ]
+    return CompiledForest(forest._classes, n_features, trees)

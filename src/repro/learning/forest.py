@@ -10,6 +10,7 @@ paper's tuned hyper-parameters are the defaults here:
 from __future__ import annotations
 
 import math
+import os
 
 import numpy as np
 
@@ -17,7 +18,21 @@ from repro.exceptions import LearningError, NotFittedError
 from repro.learning.tree import DecisionTreeClassifier
 from repro.parallel import parallel_map
 
-__all__ = ["EnsembleRandomForest", "default_max_features"]
+__all__ = ["EnsembleRandomForest", "default_max_features", "default_engine"]
+
+_ENGINES = ("compiled", "object")
+
+
+def default_engine() -> str:
+    """Inference engine used when the constructor is not told otherwise.
+
+    ``"compiled"`` (the default) runs predictions through the
+    struct-of-arrays arena of :mod:`repro.learning.compiled`;
+    ``"object"`` walks the linked ``_Node`` trees.  Both produce
+    byte-identical output — the env override (``REPRO_FOREST_ENGINE``)
+    exists for A/B benchmarking, not behaviour.
+    """
+    return os.environ.get("REPRO_FOREST_ENGINE", "compiled")
 
 
 def default_max_features(n_features: int) -> int:
@@ -73,6 +88,11 @@ class EnsembleRandomForest:
             from it.
         n_jobs: default process count for :meth:`fit` (``None`` = serial,
             ``-1`` = all cores).  Any value yields byte-identical trees.
+        engine: ``"compiled"`` (vectorized arena, the default) or
+            ``"object"`` (linked-node walk); ``None`` reads
+            :func:`default_engine`.  Output is byte-identical either
+            way; the compiled arena is rebuilt automatically on
+            :meth:`fit` and on load.
     """
 
     def __init__(
@@ -87,11 +107,16 @@ class EnsembleRandomForest:
         bootstrap: bool = True,
         random_state: int | None = None,
         n_jobs: int | None = None,
+        engine: str | None = None,
     ):
         if n_trees < 1:
             raise LearningError("n_trees must be >= 1")
         if voting not in ("average", "majority"):
             raise LearningError(f"unknown voting mode {voting!r}")
+        if engine is None:
+            engine = default_engine()
+        if engine not in _ENGINES:
+            raise LearningError(f"unknown inference engine {engine!r}")
         self.n_trees = n_trees
         self.max_features = max_features
         self.max_depth = max_depth
@@ -102,8 +127,15 @@ class EnsembleRandomForest:
         self.bootstrap = bootstrap
         self.random_state = random_state
         self.n_jobs = n_jobs
+        self.engine = engine
         self.trees_: list[DecisionTreeClassifier] = []
         self._classes: np.ndarray | None = None
+        #: Compiled struct-of-arrays arena (repro.learning.compiled);
+        #: rebuilt on fit/load, dropped from pickles and rebuilt lazily.
+        self._compiled = None
+        #: Per-tree forest-class column alignment, cached because the
+        #: tree set only changes on fit/load (satellite of ISSUE 4).
+        self._tree_cols: list[np.ndarray] | None = None
 
     def fit(
         self, X: np.ndarray, y: np.ndarray, n_jobs: int | None = None
@@ -146,37 +178,98 @@ class EnsembleRandomForest:
         ]
         effective = n_jobs if n_jobs is not None else self.n_jobs
         self.trees_ = parallel_map(_fit_tree, jobs, n_jobs=effective)
+        # Refit invalidates the previous arena and column cache.
+        self._tree_cols = None
+        self._compiled = None
+        if self.engine == "compiled":
+            self.compile()
         return self
 
     def _check_fitted(self) -> None:
         if not self.trees_:
             raise NotFittedError("fit() must be called before predict")
 
+    # -- compiled-engine plumbing -------------------------------------------
+
+    def _tree_columns(self) -> list[np.ndarray]:
+        """Forest-class column of each tree's local classes, cached.
+
+        A tree fitted on a degenerate bootstrap may have seen fewer
+        classes than the forest; this alignment scatters its output
+        into the right columns.  The tree set only changes on fit/load,
+        so the ``searchsorted`` runs once, not on every predict call.
+        """
+        if self._tree_cols is None or len(self._tree_cols) != len(self.trees_):
+            self._tree_cols = [
+                np.searchsorted(self._classes, tree._classes)
+                for tree in self.trees_
+            ]
+        return self._tree_cols
+
+    def compile(self):
+        """(Re)build the vectorized inference arena; returns it.
+
+        Called automatically at the end of :meth:`fit` and by the
+        persistence loader; call manually after mutating ``trees_`` in
+        place (tests do) to resynchronize.
+        """
+        from repro.learning.compiled import compile_forest
+
+        self._check_fitted()
+        self._tree_cols = None
+        self._compiled = compile_forest(self)
+        return self._compiled
+
+    def _compiled_forest(self):
+        """The current arena, compiled on first use and guarded against
+        a swapped-out tree list (stale arenas must never score)."""
+        compiled = self._compiled
+        if compiled is None or compiled.n_trees != len(self.trees_):
+            compiled = self.compile()
+        return compiled
+
+    # -- pickling -------------------------------------------------------------
+    # Process pools ship forests between workers; the arena and column
+    # cache are derived data, so drop them to keep payloads lean — both
+    # rebuild lazily on first predict.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        state["_tree_cols"] = None
+        return state
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Class-probability matrix.
 
         ``"average"`` voting returns the mean of per-tree probabilistic
-        predictions; ``"majority"`` returns hard-vote fractions.
+        predictions; ``"majority"`` returns hard-vote fractions.  Both
+        engines produce byte-identical matrices.
         """
         self._check_fitted()
+        if self.engine == "compiled":
+            compiled = self._compiled_forest()
+            if self.voting == "average":
+                return compiled.predict_proba(X)
+            return compiled.vote_fractions(X)
         X = np.asarray(X, dtype=np.float64)
         n_classes = len(self._classes)
+        columns = self._tree_columns()
         if self.voting == "average":
             total = np.zeros((len(X), n_classes))
-            for tree in self.trees_:
+            for index, tree in enumerate(self.trees_):
                 # Trees may have seen fewer classes in a degenerate
-                # bootstrap; align columns via the tree's own classes.
-                proba = tree.predict_proba(X)
-                cols = np.searchsorted(self._classes, tree._classes)
-                total[:, cols] += proba
+                # bootstrap; align columns via the cached mapping.
+                total[:, columns[index]] += tree.predict_proba(X)
             # Normalize by the trees actually present: a payload loaded
             # from disk may carry fewer trees than n_trees claims.
             return total / len(self.trees_)
         votes = np.zeros((len(X), n_classes))
-        for tree in self.trees_:
-            predicted = tree.predict(X)
-            cols = np.searchsorted(self._classes, predicted)
-            votes[np.arange(len(X)), cols] += 1
+        row_index = np.arange(len(X))
+        for index, tree in enumerate(self.trees_):
+            # Leaf argmax indices map through the cached alignment —
+            # no per-sample label searchsorted, no (n, C) proba matrix.
+            votes[row_index, columns[index][tree._predict_indices(X)]] += 1
         return votes / len(self.trees_)
 
     def predict(self, X: np.ndarray) -> np.ndarray:

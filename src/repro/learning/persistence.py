@@ -126,6 +126,11 @@ def forest_from_dict(data: dict) -> EnsembleRandomForest:
     )
     forest._classes = np.array(data["classes"])
     forest.trees_ = [_tree_from_dict(t) for t in trees]
+    # A loaded model is about to serve the wire: build the vectorized
+    # inference arena now (both v1 and v2 payloads) rather than on the
+    # first live classification.
+    if forest.engine == "compiled":
+        forest.compile()
     return forest
 
 

@@ -324,10 +324,33 @@ class DecisionTreeClassifier:
             out[index] = node.proba
         return out
 
+    def _predict_indices(self, X: np.ndarray) -> np.ndarray:
+        """Tree-local class index of each row's leaf argmax.
+
+        Walks each row to its leaf and argmaxes the leaf vector in
+        place — no ``(n, n_classes)`` probability matrix is
+        materialized, which matters when the forest's majority-voting
+        branch calls this per tree.  Ties resolve to the first index,
+        i.e. the lowest class label (``_classes`` is sorted).
+        """
+        if self._root is None:
+            raise NotFittedError("fit() must be called before predict")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise LearningError(
+                f"expected shape (*, {self.n_features_}), got {X.shape}"
+            )
+        out = np.empty(len(X), dtype=np.intp)
+        for index, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[index] = node.proba.argmax()
+        return out
+
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Predicted class labels."""
-        proba = self.predict_proba(X)
-        return self._classes[np.argmax(proba, axis=1)]
+        """Predicted class labels (ties break to the lowest label)."""
+        return self._classes[self._predict_indices(X)]
 
     @property
     def depth(self) -> int:
