@@ -208,3 +208,34 @@ def test_bench_detector_end_to_end(classifier, stream):
     # feature extraction), so the end-to-end win is bounded by its
     # share; measured ~1.25x, asserted with CI-noise headroom.
     assert speedup >= 1.1
+
+
+def test_forest_inference_telemetry_artifact(classifier, probe, artifact_dir):
+    """Companion (untimed) run with metrics on: scoring volume and batch
+    shape land in the registry and ship as a CI artifact.  The timed
+    benches above stay metrics-off."""
+    from repro.obs import MetricsRegistry, PipelineStatsReporter, use_registry
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        _with_engine(classifier, "compiled",
+                     lambda: classifier.predict_proba(probe))
+        for start in range(0, 256, 64):
+            _with_engine(
+                classifier, "compiled",
+                lambda s=start: classifier.decision_scores(probe[s:s + 64]),
+            )
+        path = artifact_dir / "forest_inference_stats.jsonl"
+        reporter = PipelineStatsReporter(registry=registry, out=str(path))
+        snapshot = reporter.finalize()
+
+    counters = snapshot["counters"]
+    assert counters["forest.rows_scored.compiled"] == len(probe) + 256
+    batch_rows = snapshot["histograms"]["forest.batch_rows"]
+    assert batch_rows["count"] == 5  # one 10k batch + four 64-row batches
+    assert batch_rows["max"] == len(probe)
+    assert batch_rows["p50"] == 64
+    print(f"\nrows scored (compiled): "
+          f"{counters['forest.rows_scored.compiled']}, "
+          f"batch sizes p50 {batch_rows['p50']:.0f} / max "
+          f"{batch_rows['max']:.0f}\n[saved to {path}]")

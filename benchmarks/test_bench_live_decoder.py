@@ -137,3 +137,34 @@ def test_bench_live_decoder_scaling(benchmark, capture):
     print(f"per-feed cost: first decile {first * 1e6:.0f} us, "
           f"last decile {last * 1e6:.0f} us")
     assert last < first * 10
+
+
+def test_live_decoder_telemetry_artifact(capture, artifact_dir):
+    """Companion (untimed) run with metrics on: the decoder's counters
+    must agree with the capture's ground truth, and the snapshot ships
+    as a CI artifact.  The timed bench above stays metrics-off."""
+    from repro.obs import MetricsRegistry, PipelineStatsReporter, use_registry
+
+    packets, book = capture
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        decoder = LiveDecoder(book=book)
+        emitted = 0
+        for packet in packets:
+            emitted += len(decoder.feed(packet))
+        emitted += len(decoder.flush())
+        path = artifact_dir / "live_decoder_stats.jsonl"
+        reporter = PipelineStatsReporter(registry=registry, out=str(path))
+        snapshot = reporter.finalize()
+
+    assert emitted == TRANSACTIONS
+    counters = snapshot["counters"]
+    assert counters["decode.packets"] == len(packets)
+    assert counters["http.transactions"] == TRANSACTIONS
+    assert counters["http.requests"] == TRANSACTIONS
+    assert counters["reassembly.segments"] > 0
+    feed_span = snapshot["histograms"]["span.decode.feed"]
+    assert feed_span["count"] == len(packets)
+    print(f"\nper-feed decode span: p50 {feed_span['p50'] * 1e6:.1f} us, "
+          f"p99 {feed_span['p99'] * 1e6:.1f} us over {len(packets)} packets"
+          f"\n[saved to {path}]")

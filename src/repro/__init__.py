@@ -15,6 +15,8 @@ Public API tour:
   Ensemble Random Forest, metrics, CV, gain-ratio ranking.
 * :mod:`repro.detection` — the on-the-wire detector (clues, session
   watches, vendor weeding, alerts, replay drivers).
+* :mod:`repro.obs` — pipeline observability: metrics registry, timing
+  spans, structured logging, JSON-lines stats snapshots (DESIGN.md §11).
 * :mod:`repro.vtsim` — simulated VirusTotal baseline with signature lag.
 * :mod:`repro.analytics` / :mod:`repro.experiments` — the offline study
   and one runner per paper table/figure.

@@ -11,6 +11,11 @@ Deployment workflow (train once, detect anywhere)::
     dynaminer train --out model.json [--scale 0.5] [--seed 7]
     dynaminer synth capture.pcap --kind angler [--seed 3]
     dynaminer detect capture.pcap --model model.json [--threshold 0.7]
+
+Observability: ``--metrics`` (or ``REPRO_METRICS=1``) turns on the
+pipeline metrics registry; ``--stats-interval``/``--stats-out`` stream
+JSON-lines snapshots (default sink: stderr); ``--log-level`` controls
+the ``repro`` logger.
 """
 
 from __future__ import annotations
@@ -57,6 +62,50 @@ EXPERIMENTS = {
 }
 
 
+def _setup_observability(args: argparse.Namespace):
+    """Apply the shared observability flags; returns the stats reporter
+    (or ``None`` when metrics are off).
+
+    Must run *before* the pipeline is constructed: components capture
+    their instrument handles at ``__init__``.
+    """
+    from repro.obs import (
+        PipelineStatsReporter,
+        configure_logging,
+        enable_metrics,
+        metrics_enabled,
+    )
+
+    configure_logging(getattr(args, "log_level", "info"))
+    if getattr(args, "metrics", False):
+        enable_metrics()
+    if not metrics_enabled():
+        return None
+    out = args.stats_out if args.stats_out else sys.stderr
+    return PipelineStatsReporter(out=out, interval=args.stats_interval)
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="enable the pipeline metrics registry (same as REPRO_METRICS=1)",
+    )
+    parser.add_argument(
+        "--stats-interval", type=float, default=None, dest="stats_interval",
+        help="seconds between JSON-lines stats snapshots (default: only a"
+             " final snapshot)",
+    )
+    parser.add_argument(
+        "--stats-out", default=None, dest="stats_out",
+        help="append stats snapshots to this file (default: stderr)",
+    )
+    parser.add_argument(
+        "--log-level", default="info", dest="log_level",
+        choices=("debug", "info", "warning", "error"),
+        help="repro logger verbosity (default: info)",
+    )
+
+
 def _cmd_list() -> int:
     print("available experiments:")
     for name in EXPERIMENTS:
@@ -67,7 +116,10 @@ def _cmd_list() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.context import set_default_n_jobs
+    from repro.obs import get_logger
 
+    log = get_logger("cli")
+    reporter = _setup_observability(args)
     if args.n_jobs is not None:
         set_default_n_jobs(args.n_jobs)
     if args.experiment == "all":
@@ -75,12 +127,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.experiment in EXPERIMENTS:
         names = [args.experiment]
     else:
-        print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+        log.error("unknown experiment: %s (see `dynaminer list`)",
+                  args.experiment)
         return 2
     for name in names:
         print(f"=== {name} " + "=" * max(0, 60 - len(name)))
         print(EXPERIMENTS[name](args.seed, args.scale))
         print()
+        if reporter is not None:
+            reporter.maybe_emit()
+    if reporter is not None:
+        reporter.finalize()
     return 0
 
 
@@ -88,57 +145,100 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.detection.training import training_matrix
     from repro.learning.forest import EnsembleRandomForest
     from repro.learning.persistence import save_forest
+    from repro.obs import configure_logging, get_logger
     from repro.synthesis.corpus import ground_truth_corpus
 
-    print(f"building ground-truth corpus (seed={args.seed}, "
-          f"scale={args.scale}) ...")
+    configure_logging(getattr(args, "log_level", "info"))
+    log = get_logger("cli")
+    log.info("building ground-truth corpus (seed=%s, scale=%s) ...",
+             args.seed, args.scale)
     corpus = ground_truth_corpus(seed=args.seed, scale=args.scale)
-    print(f"  {len(corpus.benign)} benign + {len(corpus.infections)} "
-          f"infection traces")
-    print("extracting WCG features (full traces + clue-time prefixes) ...")
+    log.info("%d benign + %d infection traces",
+             len(corpus.benign), len(corpus.infections))
+    log.info("extracting WCG features (full traces + clue-time prefixes) ...")
     X, y = training_matrix(corpus.traces, augment_prefixes=True,
                            n_jobs=args.n_jobs)
-    print(f"  {X.shape[0]} training vectors x {X.shape[1]} features")
-    print("training the Ensemble Random Forest (Nt=20, Nf=log2+1) ...")
+    log.info("%d training vectors x %d features", X.shape[0], X.shape[1])
+    log.info("training the Ensemble Random Forest (Nt=20, Nf=log2+1) ...")
     model = EnsembleRandomForest(n_trees=20, random_state=args.seed)
     model.fit(X, y, n_jobs=args.n_jobs)
-    save_forest(model, args.out)
+    try:
+        save_forest(model, args.out)
+    except OSError as exc:
+        log.error("cannot write model to %s: %s", args.out, exc)
+        return 2
     print(f"model written to {args.out}")
     return 0
+
+
+def _load_model_or_fail(path: str, log):
+    """Load a saved forest, trading tracebacks for actionable errors.
+
+    Returns ``None`` after logging when the model cannot be loaded —
+    the file is missing, unreadable, not JSON, or not a model payload.
+    """
+    from repro.exceptions import LearningError
+    from repro.learning.persistence import load_forest
+
+    try:
+        return load_forest(path)
+    except FileNotFoundError:
+        log.error("model file not found: %s (create one with"
+                  " `dynaminer train --out %s`)", path, path)
+    except (OSError, ValueError, KeyError, TypeError, LearningError) as exc:
+        # json.JSONDecodeError is a ValueError; a structurally wrong
+        # payload surfaces as KeyError/TypeError from the rebuilder.
+        log.error("cannot load model %s: %s", path, exc)
+    return None
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
     from repro.detection.clues import CluePolicy
     from repro.detection.detector import DetectorConfig, OnTheWireDetector
-    from repro.detection.proxy import TrafficReplay
-    from repro.learning.persistence import load_forest
-    from repro.net.flows import transactions_from_packets
+    from repro.detection.live import LiveDetector
+    from repro.exceptions import PcapError
     from repro.net.pcapng import read_capture
+    from repro.obs import get_logger
 
-    model = load_forest(args.model)
-    print(f"loaded model with {len(model.trees_)} trees from {args.model}")
-    linktype, packets = read_capture(args.pcap)
-    transactions = transactions_from_packets(packets, linktype)
-    print(f"decoded {len(packets)} packets -> {len(transactions)} "
-          f"HTTP transactions")
+    log = get_logger("cli")
+    reporter = _setup_observability(args)
+    model = _load_model_or_fail(args.model, log)
+    if model is None:
+        return 2
+    log.info("loaded model with %d trees from %s",
+             len(model.trees_), args.model)
+    try:
+        linktype, packets = read_capture(args.pcap)
+    except FileNotFoundError:
+        log.error("capture file not found: %s", args.pcap)
+        return 2
+    except (OSError, PcapError) as exc:
+        log.error("cannot read capture %s: %s", args.pcap, exc)
+        return 2
     detector = OnTheWireDetector(
         model,
         policy=CluePolicy(redirect_threshold=args.redirect_threshold),
         config=DetectorConfig(alert_threshold=args.threshold),
     )
-    report = TrafficReplay(detector).run(transactions)
-    print(f"{report.alert_count} alert(s); "
-          f"{report.classifications} classifications over "
-          f"{report.watches} session watches "
-          f"({report.weeded} transactions weeded as trusted)")
-    for alert in report.alerts:
+    live = LiveDetector(detector, linktype=linktype, reporter=reporter)
+    for packet in packets:
+        live.feed(packet)
+    live.finish()
+    log.info("decoded %d packets -> %d HTTP transactions",
+             len(packets), live.transactions_emitted)
+    alerts = detector.alerts
+    print(f"{len(alerts)} alert(s); "
+          f"{detector.classifications} classifications over "
+          f"{detector.watch_count()} session watches "
+          f"({detector.transactions_weeded} transactions weeded as trusted)")
+    for alert in alerts:
         print(
             f"  ALERT client={alert.client} server={alert.clue.server} "
             f"payload={alert.clue.payload_type.value} "
             f"score={alert.score:.2f} "
             f"wcg={alert.wcg_order}n/{alert.wcg_size}e"
         )
-    return 0 if report.alert_count == 0 else 1
+    return 0 if not alerts else 1
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -191,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
              " byte-identical for any value: all per-tree/per-fold seeds"
              " derive from --seed before any work is scheduled.",
     )
+    _add_observability_flags(run_parser)
 
     train_parser = subparsers.add_parser(
         "train", help="train a classifier and save it as JSON"
@@ -204,6 +305,11 @@ def main(argv: list[str] | None = None) -> int:
              " (default 1; -1 = all cores). The saved model is"
              " byte-identical for any value.",
     )
+    train_parser.add_argument(
+        "--log-level", default="info", dest="log_level",
+        choices=("debug", "info", "warning", "error"),
+        help="repro logger verbosity (default: info)",
+    )
 
     detect_parser = subparsers.add_parser(
         "detect", help="replay a pcap through the on-the-wire detector"
@@ -212,6 +318,7 @@ def main(argv: list[str] | None = None) -> int:
     detect_parser.add_argument("--model", default="dynaminer-model.json")
     detect_parser.add_argument("--threshold", type=float, default=0.7)
     detect_parser.add_argument("--redirect-threshold", type=int, default=3)
+    _add_observability_flags(detect_parser)
 
     synth_parser = subparsers.add_parser(
         "synth", help="synthesize a labelled pcap capture"

@@ -35,6 +35,7 @@ from repro.core.stages import Stage, StageAssigner
 from repro.core.wcg import EdgeData, EdgeKind, NodeKind, WebConversationGraph
 from repro.core.payloads import is_exploit_type
 from repro.exceptions import GraphConstructionError
+from repro.obs import get_registry
 
 __all__ = ["WCGBuilder", "build_wcg"]
 
@@ -82,6 +83,10 @@ class WCGBuilder:
         self._redirect_edges: list[EdgeData] = []
         self._redirect_keys: list[tuple[float, int]] = []
         self._max_ts = float("-inf")
+        metrics = get_registry()
+        self._c_ingested = metrics.counter("wcg.transactions_ingested")
+        self._c_edges = metrics.counter("wcg.edges_appended")
+        self._c_replays = metrics.counter("wcg.out_of_order_replays")
 
     def add(self, txn: HttpTransaction) -> None:
         """Record one transaction; graph work is deferred to :meth:`build`.
@@ -129,6 +134,7 @@ class WCGBuilder:
 
     def _replay(self) -> None:
         """Re-ingest everything in stable timestamp order."""
+        self._c_replays.inc()
         ordered = sorted(self._transactions, key=lambda t: t.timestamp)
         self._wcg = None
         self._assigner = None
@@ -154,6 +160,7 @@ class WCGBuilder:
             self._inferencer = RedirectInferencer()
         wcg = self._wcg
         seq = len(self._txn_edges)
+        self._c_ingested.inc()
 
         changes = self._assigner.add(txn)
         stage = self._assigner.current_stage(seq)
@@ -178,6 +185,7 @@ class WCGBuilder:
             user_agent=request.user_agent,
         )
         wcg.add_edge(txn.client, txn.server, request_edge)
+        self._c_edges.inc()
         response_edge: EdgeData | None = None
         if txn.response is not None:
             ptype = txn.payload_type
@@ -191,6 +199,7 @@ class WCGBuilder:
                 payload_size=txn.payload_size,
             )
             wcg.add_edge(txn.server, txn.client, response_edge)
+            self._c_edges.inc()
             if (
                 200 <= txn.status < 300
                 and is_exploit_type(ptype)
@@ -213,8 +222,8 @@ class WCGBuilder:
             if self._stamps[other] < relabel_floor:
                 relabel_floor = self._stamps[other]
 
-        if seq == 0:
-            self._link_origin(wcg, txn)
+        if seq == 0 and self._link_origin(wcg, txn):
+            self._c_edges.inc()
 
         # Redirect edges observed by this transaction, staged at the
         # nearest ingested transaction at-or-before their timestamp.
@@ -229,6 +238,7 @@ class WCGBuilder:
                 cross_domain=redirect.cross_domain,
             )
             wcg.add_edge(redirect.source, redirect.target, redirect_edge)
+            self._c_edges.inc()
             index = len(self._redirect_edges)
             self._redirect_edges.append(redirect_edge)
             # In-order ingest ⇒ the new key sorts at (or near) the end.
@@ -258,11 +268,14 @@ class WCGBuilder:
         return self._assigner.current_stage(index)
 
     @staticmethod
-    def _link_origin(wcg: WebConversationGraph, first: HttpTransaction) -> None:
-        """Connect the origin node to the first host the victim visited."""
+    def _link_origin(wcg: WebConversationGraph, first: HttpTransaction) -> bool:
+        """Connect the origin node to the first host the victim visited.
+
+        Returns whether an edge was actually appended (the origin may
+        *be* the first host)."""
         target = first.server
         if wcg.origin == target:
-            return
+            return False
         wcg.add_edge(
             wcg.origin,
             target,
@@ -274,6 +287,7 @@ class WCGBuilder:
                 cross_domain=True,
             ),
         )
+        return True
 
 
 def build_wcg(

@@ -22,6 +22,7 @@ from repro.core.redirects import (
     RedirectInferencer,
     longest_chain_length,
 )
+from repro.obs import get_registry
 
 __all__ = ["InfectionClue", "CluePolicy", "ClueDetector",
            "payload_risk_from_corpus", "DEFAULT_RISKY_TYPES"]
@@ -108,6 +109,7 @@ class ClueDetector:
         self._window: list[HttpTransaction] = []
         self._inferencer = RedirectInferencer()
         self._chain_length = 0
+        self._c_clues = get_registry().counter("detection.clues_fired")
 
     def observe(self, txn: HttpTransaction) -> InfectionClue | None:
         """Ingest one transaction; returns a clue when one is flagged."""
@@ -126,6 +128,7 @@ class ClueDetector:
         if chain >= self.policy.redirect_threshold or (
             self.policy.exploit_shortcut and is_exploit_type(ptype)
         ):
+            self._c_clues.inc()
             return InfectionClue(
                 client=txn.client,
                 server=txn.server,

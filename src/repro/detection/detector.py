@@ -18,6 +18,7 @@ re-extracted or re-scored.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,6 +32,7 @@ from repro.detection.whitelist import VendorWhitelist
 from repro.exceptions import DetectionError
 from repro.features.extractor import FeatureExtractor
 from repro.learning.forest import EnsembleRandomForest
+from repro.obs import get_registry
 
 __all__ = ["DetectorConfig", "OnTheWireDetector"]
 
@@ -121,14 +123,26 @@ class OnTheWireDetector:
         self.transactions_seen = 0
         self.transactions_weeded = 0
         self.classifications = 0
+        metrics = get_registry()
+        self._metrics = metrics
+        self._c_txns = metrics.counter("detector.transactions")
+        self._c_weeded = metrics.counter("detector.weeded")
+        self._c_scores = metrics.counter("detector.scores_requested")
+        self._c_batches = metrics.counter("detector.score_batches_flushed")
+        self._c_alerts = metrics.counter("detector.alerts")
+        self._c_cooldown = metrics.counter("detector.cooldown_suppressed")
+        self._h_batch_size = metrics.histogram("detector.score_batch_size")
+        self._h_latency = metrics.histogram("detector.score_latency_seconds")
 
     # -- stream interface ---------------------------------------------------
 
     def process(self, txn: HttpTransaction) -> Alert | None:
         """Ingest one transaction; returns an alert if one fires."""
         self.transactions_seen += 1
+        self._c_txns.inc()
         if self.config.use_whitelist and self.whitelist.trusted(txn.server):
             self.transactions_weeded += 1
+            self._c_weeded.inc()
             return None
         watch = self._table.route(txn)
         if watch.alerted or watch.terminated:
@@ -167,8 +181,10 @@ class OnTheWireDetector:
         pending_clients: set[str] = set()
         for txn in transactions:
             self.transactions_seen += 1
+            self._c_txns.inc()
             if self.config.use_whitelist and self.whitelist.trusted(txn.server):
                 self.transactions_weeded += 1
+                self._c_weeded.inc()
                 continue
             if txn.client in pending_clients:
                 alerts.extend(self.score_batch(pending))
@@ -248,6 +264,7 @@ class OnTheWireDetector:
         # single requests score it as a 1-row view, batches stack it.
         vector = self._extractor.extract(wcg)
         self.classifications += 1
+        self._c_scores.inc()
         self._updates_since_score[watch.key] = 1
         self._scored_order[watch.key] = wcg.order
         self._scored_version[watch.key] = wcg.version
@@ -268,7 +285,9 @@ class OnTheWireDetector:
             rows = requests[0].vector[None, :]
         else:
             rows = np.stack([request.vector for request in requests])
-        scores = self.classifier.decision_scores(rows)
+        scores = self._timed_scores(rows)
+        self._c_batches.inc()
+        self._h_batch_size.observe(len(requests))
         alerts = []
         for request, score in zip(requests, scores):
             alert = self._dispatch(request, float(score))
@@ -276,14 +295,29 @@ class OnTheWireDetector:
                 alerts.append(alert)
         return alerts
 
+    def _timed_scores(self, rows: np.ndarray) -> np.ndarray:
+        """Classifier call, timed into the per-score latency histogram.
+
+        The clock is only read when metrics are enabled, so the
+        disabled path is exactly the bare classifier call.
+        """
+        if not self._metrics.enabled:
+            return self.classifier.decision_scores(rows)
+        started = time.perf_counter()
+        scores = self.classifier.decision_scores(rows)
+        elapsed = time.perf_counter() - started
+        # Per-score latency: the batch call amortizes over its rows.
+        self._h_latency.observe(elapsed / len(rows))
+        return scores
+
     def _score(self, watch: SessionWatch, now: float) -> Alert | None:
         """Request, score, and dispatch one watch immediately."""
         request = self._request_score(watch, now)
         if request is None:
             return None
-        score = float(
-            self.classifier.decision_scores(request.vector[None, :])[0]
-        )
+        score = float(self._timed_scores(request.vector[None, :])[0])
+        self._c_batches.inc()
+        self._h_batch_size.observe(1)
         return self._dispatch(request, score)
 
     def _dispatch(self, request: _PendingScore, score: float) -> Alert | None:
@@ -299,6 +333,7 @@ class OnTheWireDetector:
             # the cooldown — it is the same incident seen with an earlier
             # clock, not a reason to page twice.  Keep the high-water
             # mark so the window stays monotonic.
+            self._c_cooldown.inc()
             self._last_alert_ts[watch.client] = max(last, now)
             watch.alerted = True
             watch.terminated = True
@@ -318,6 +353,7 @@ class OnTheWireDetector:
         watch.alerted = True
         watch.terminated = True  # DynaMiner terminates infectious sessions
         self._forget(watch.key)
+        self._c_alerts.inc()
         self.sink.emit(alert)
         return alert
 

@@ -33,10 +33,11 @@ from __future__ import annotations
 from repro.core.model import HttpTransaction
 from repro.detection.alerts import Alert
 from repro.detection.detector import OnTheWireDetector
-from repro.exceptions import HttpParseError
+from repro.exceptions import HttpParseError, PcapError
 from repro.net.flows import AddressBook, StreamPairer, _segments_of
 from repro.net.pcap import LINKTYPE_ETHERNET, PcapPacket
 from repro.net.reassembly import FlowKey, TcpReassembler, TcpStream
+from repro.obs import PipelineStatsReporter, get_registry
 
 __all__ = ["LiveDecoder", "LiveDetector"]
 
@@ -53,13 +54,32 @@ class LiveDecoder:
         self._pairers: dict[FlowKey, StreamPairer] = {}
         #: Connections whose payload is not HTTP (skip quietly).
         self._not_http: set[FlowKey] = set()
+        self._metrics = get_registry()
+        self._c_packets = self._metrics.counter("decode.packets")
+        self._c_bytes = self._metrics.counter("decode.bytes")
+        self._c_errors = self._metrics.counter("decode.errors")
+        self._c_not_http = self._metrics.counter("decode.non_http_streams")
 
     def feed(self, packet: PcapPacket) -> list[HttpTransaction]:
-        """Ingest one pcap record; returns newly completed transactions."""
+        """Ingest one pcap record; returns newly completed transactions.
+
+        A record that fails link/IP/TCP decoding is counted
+        (``decode.errors``) and skipped: a live tap sees plenty of
+        traffic the decoder was never meant to parse, and one mangled
+        frame must not stall the wire.
+        """
         emitted: list[HttpTransaction] = []
-        for ts, src, dst, segment in _segments_of([packet], self.linktype):
-            stream = self._reassembler.feed(ts, src, dst, segment)
-            emitted.extend(self._drain(stream, final=stream.closed))
+        self._c_packets.inc()
+        self._c_bytes.inc(len(packet.data))
+        with self._metrics.span("decode.feed"):
+            try:
+                for ts, src, dst, segment in _segments_of(
+                    [packet], self.linktype
+                ):
+                    stream = self._reassembler.feed(ts, src, dst, segment)
+                    emitted.extend(self._drain(stream, final=stream.closed))
+            except PcapError:
+                self._c_errors.inc()
         return emitted
 
     def flush(self) -> list[HttpTransaction]:
@@ -82,18 +102,29 @@ class LiveDecoder:
             # Transactions already emitted from the stream's well-formed
             # prefix stand; the remainder is not HTTP.
             self._not_http.add(key)
+            self._c_not_http.inc()
             return []
 
 
 class LiveDetector:
-    """Packet-in, alert-out wrapper around the on-the-wire detector."""
+    """Packet-in, alert-out wrapper around the on-the-wire detector.
+
+    ``reporter`` optionally attaches a
+    :class:`~repro.obs.PipelineStatsReporter`: interval snapshots tick
+    from the packet loop (:meth:`feed`) and a final one is emitted by
+    :meth:`finish`, so a deployed tap streams its own telemetry without
+    any extra wiring.
+    """
 
     def __init__(self, detector: OnTheWireDetector,
                  linktype: int = LINKTYPE_ETHERNET,
-                 book: AddressBook | None = None):
+                 book: AddressBook | None = None,
+                 reporter: PipelineStatsReporter | None = None):
         self.detector = detector
         self.decoder = LiveDecoder(linktype=linktype, book=book)
+        self.reporter = reporter
         self.transactions_emitted = 0
+        self._metrics = get_registry()
 
     def feed(self, packet: PcapPacket) -> list[Alert]:
         """Ingest one packet; returns alerts raised by it (if any).
@@ -105,7 +136,11 @@ class LiveDetector:
         """
         transactions = self.decoder.feed(packet)
         self.transactions_emitted += len(transactions)
-        return self.detector.process_batch(transactions)
+        with self._metrics.span("detector.process_batch"):
+            alerts = self.detector.process_batch(transactions)
+        if self.reporter is not None:
+            self.reporter.maybe_emit()
+        return alerts
 
     def finish(self) -> list[Alert]:
         """Flush the decoder and finalize the detector's watches."""
@@ -113,6 +148,9 @@ class LiveDetector:
         self.transactions_emitted += len(transactions)
         alerts = self.detector.process_batch(transactions)
         before = len(self.detector.alerts)
-        self.detector.finalize()
+        with self._metrics.span("detector.finalize"):
+            self.detector.finalize()
         alerts.extend(self.detector.alerts[before:])
+        if self.reporter is not None:
+            self.reporter.finalize()
         return alerts

@@ -26,6 +26,7 @@ from repro.core.model import HttpMethod, HttpTransaction
 from repro.core.sessions import extract_session_id
 from repro.core.wcg import WebConversationGraph
 from repro.detection.clues import ClueDetector, CluePolicy, InfectionClue
+from repro.obs import get_registry
 
 __all__ = ["SessionWatch", "SessionTable"]
 
@@ -124,6 +125,14 @@ class SessionTable:
         self._closed = 0
         self._now = float("-inf")
         self._routed = 0
+        #: Watches currently retained (routing candidates); mirrors
+        #: ``sum(len(group) for group in self._watches.values())``.
+        self._live = 0
+        metrics = get_registry()
+        self._c_opened = metrics.counter("session.watches_opened")
+        self._c_pruned = metrics.counter("session.watches_pruned")
+        self._c_sweeps = metrics.counter("session.sweeps")
+        self._g_active = metrics.gauge("session.active_watches")
 
     @property
     def opened_count(self) -> int:
@@ -156,6 +165,9 @@ class SessionTable:
                 policy=self.policy,
             )
             candidates.append(chosen)
+            self._live += 1
+            self._c_opened.inc()
+            self._g_active.set(self._live)
         chosen.add(txn)
         return chosen
 
@@ -206,9 +218,13 @@ class SessionTable:
         if not watch.terminated:
             watch.terminated = True
         self._closed += 1
+        self._live -= 1
+        self._c_pruned.inc()
+        self._g_active.set(self._live)
         return True
 
     def sweep(self) -> None:
         """Drop every prunable watch, for all clients."""
+        self._c_sweeps.inc()
         for client in list(self._watches):
             self._prune_client(client)

@@ -33,6 +33,7 @@ from repro.features.header import header_features
 from repro.features.high_level import high_level_features
 from repro.features.registry import FEATURES, NUM_FEATURES
 from repro.features.temporal import temporal_features
+from repro.obs import get_registry
 from repro.parallel import parallel_map
 
 __all__ = ["FeatureExtractor", "extract_features", "extract_matrix",
@@ -54,6 +55,12 @@ class FeatureExtractor:
         self._topology_cache: "weakref.WeakKeyDictionary[WebConversationGraph, tuple[int, dict[str, float]]]" = (
             weakref.WeakKeyDictionary()
         )
+        metrics = get_registry()
+        self._metrics = metrics
+        self._c_vec_hits = metrics.counter("features.vector_cache_hits")
+        self._c_vec_misses = metrics.counter("features.vector_cache_misses")
+        self._c_topo_hits = metrics.counter("features.topology_cache_hits")
+        self._c_topo_misses = metrics.counter("features.topology_cache_misses")
 
     def extract(self, wcg: WebConversationGraph) -> np.ndarray:
         """Feature vector for one WCG, in registry order.
@@ -63,7 +70,9 @@ class FeatureExtractor:
         """
         cached = self._vector_cache.get(wcg)
         if cached is not None and cached[0] == wcg.version:
+            self._c_vec_hits.inc()
             return cached[1]
+        self._c_vec_misses.inc()
         values: dict[str, float] = {}
         values.update(high_level_features(wcg))
         values.update(scalar_graph_features(wcg))
@@ -89,8 +98,11 @@ class FeatureExtractor:
         """The expensive tier, memoized on the graph's structure version."""
         cached = self._topology_cache.get(wcg)
         if cached is not None and cached[0] == wcg.structure_version:
+            self._c_topo_hits.inc()
             return cached[1]
-        values = topology_features(wcg)
+        self._c_topo_misses.inc()
+        with self._metrics.span("features.topology"):
+            values = topology_features(wcg)
         self._topology_cache[wcg] = (wcg.structure_version, values)
         return values
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.exceptions import LearningError, NotFittedError
 from repro.learning.tree import DecisionTreeClassifier
+from repro.obs import get_registry
 from repro.parallel import parallel_map
 
 __all__ = ["EnsembleRandomForest", "default_max_features", "default_engine"]
@@ -217,6 +218,7 @@ class EnsembleRandomForest:
 
         self._check_fitted()
         self._tree_cols = None
+        get_registry().counter("forest.arena_rebuilds").inc()
         self._compiled = compile_forest(self)
         return self._compiled
 
@@ -247,6 +249,10 @@ class EnsembleRandomForest:
         engines produce byte-identical matrices.
         """
         self._check_fitted()
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("forest.rows_scored." + self.engine).inc(len(X))
+            registry.histogram("forest.batch_rows").observe(len(X))
         if self.engine == "compiled":
             compiled = self._compiled_forest()
             if self.voting == "average":

@@ -48,6 +48,7 @@ from repro.net.packets import (
 )
 from repro.net.pcap import LINKTYPE_ETHERNET, LINKTYPE_RAW_IP, PcapPacket
 from repro.net.reassembly import StreamDirection, TcpReassembler, TcpStream
+from repro.obs import get_registry
 
 __all__ = [
     "AddressBook",
@@ -143,6 +144,13 @@ class StreamPairer:
         self._responses = ResponseParser(request_methods=self._methods,
                                          await_methods=True)
         self._unanswered: deque[HttpRequest] = deque()
+        metrics = get_registry()
+        self._c_feeds = metrics.counter("http.parser_feeds")
+        self._c_requests = metrics.counter("http.requests")
+        self._c_responses = metrics.counter("http.responses")
+        self._c_transactions = metrics.counter("http.transactions")
+        self._c_orphans = metrics.counter("http.orphan_responses")
+        self._c_unanswered = metrics.counter("http.unanswered_flushed")
 
     def poll(self, final: bool = False) -> list[HttpTransaction]:
         """Advance parsing; returns transactions completed since last poll."""
@@ -156,10 +164,14 @@ class StreamPairer:
             if src != stream.client:
                 server_state = state
         if client_state is not None:
-            raw_requests = self._requests.feed(client_state.take())
+            chunk = client_state.take()
+            if chunk:
+                self._c_feeds.inc()
+            raw_requests = self._requests.feed(chunk)
             if final:
                 raw_requests.extend(self._requests.finish())
             for raw_req in raw_requests:
+                self._c_requests.inc()
                 self._methods.append(raw_req.method)
                 self._unanswered.append(
                     self._build_request(raw_req, client_state)
@@ -168,12 +180,19 @@ class StreamPairer:
                 keep_marks_from=self._requests.pending_offset
             )
         if server_state is not None:
-            raw_responses = self._responses.feed(server_state.take())
+            chunk = server_state.take()
+            if chunk:
+                self._c_feeds.inc()
+            raw_responses = self._responses.feed(chunk)
             if final:
                 raw_responses.extend(self._responses.finish(closed=True))
             for raw_res in raw_responses:
+                self._c_responses.inc()
                 if not self._unanswered:
-                    break  # responses outrunning requests are dropped
+                    # Responses outrunning requests are dropped: a
+                    # pairing mismatch worth watching on a live tap.
+                    self._c_orphans.inc()
+                    break
                 request = self._unanswered.popleft()
                 response = self._build_response(raw_res, server_state, request)
                 out.append(HttpTransaction(request=request, response=response))
@@ -182,10 +201,13 @@ class StreamPairer:
             )
         if final:
             while self._unanswered:
+                self._c_unanswered.inc()
                 out.append(
                     HttpTransaction(request=self._unanswered.popleft(),
                                     response=None)
                 )
+        if out:
+            self._c_transactions.inc(len(out))
         return out
 
     def _build_request(self, raw_req: RawHttpRequest,
@@ -240,6 +262,12 @@ def transactions_from_packets(
     book: AddressBook | None = None,
 ) -> list[HttpTransaction]:
     """Full pipeline: pcap records -> ordered HTTP transactions."""
+    metrics = get_registry()
+    if metrics.enabled:
+        metrics.counter("decode.packets").inc(len(packets))
+        metrics.counter("decode.bytes").inc(
+            sum(len(packet.data) for packet in packets)
+        )
     reassembler = TcpReassembler()
     for ts, src, dst, segment in _segments_of(packets, linktype):
         reassembler.feed(ts, src, dst, segment)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import BinaryIO, Iterable, Iterator
 
 from repro.exceptions import PcapError
+from repro.obs import get_registry
 
 __all__ = [
     "LINKTYPE_ETHERNET",
@@ -85,6 +86,9 @@ class PcapReader:
         self.linktype = fields[6]
         self._stream = stream
         self._record = struct.Struct(self._endian + "IIII")
+        metrics = get_registry()
+        self._c_records = metrics.counter("pcap.records")
+        self._c_bytes = metrics.counter("pcap.bytes")
 
     def __iter__(self) -> Iterator[PcapPacket]:
         while True:
@@ -101,6 +105,8 @@ class PcapReader:
             data = self._stream.read(incl_len)
             if len(data) < incl_len:
                 raise PcapError("truncated pcap record body")
+            self._c_records.inc()
+            self._c_bytes.inc(incl_len)
             yield PcapPacket(
                 timestamp=ts_sec + ts_frac * self._tick,
                 data=data,

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import TcpReassemblyError
 from repro.net.packets import TcpSegment
+from repro.obs import get_registry
 
 __all__ = ["FlowKey", "StreamDirection", "TcpStream", "TcpReassembler"]
 
@@ -243,6 +244,10 @@ class TcpReassembler:
 
     def __init__(self) -> None:
         self._streams: dict[FlowKey, TcpStream] = {}
+        metrics = get_registry()
+        self._c_streams = metrics.counter("reassembly.streams_opened")
+        self._c_segments = metrics.counter("reassembly.segments")
+        self._c_payload = metrics.counter("reassembly.payload_bytes")
 
     def feed(
         self,
@@ -252,11 +257,15 @@ class TcpReassembler:
         segment: TcpSegment,
     ) -> TcpStream:
         """Process one segment; returns the (possibly new) owning stream."""
+        self._c_segments.inc()
+        if segment.payload:
+            self._c_payload.inc(len(segment.payload))
         key = FlowKey.of(src_ip, segment.src_port, dst_ip, segment.dst_port)
         stream = self._streams.get(key)
         if stream is None:
             stream = TcpStream(key=key)
             self._streams[key] = stream
+            self._c_streams.inc()
         src = (src_ip, segment.src_port)
         dst = (dst_ip, segment.dst_port)
         state = stream.direction(src, dst)

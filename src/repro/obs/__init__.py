@@ -1,0 +1,60 @@
+"""Pipeline observability: metrics, timing spans, logging, stats reports.
+
+The live pipeline is instrumented end to end — decode, reassembly, HTTP
+pairing, session table, clues, WCG building, feature extraction, forest
+inference, alert dispatch — against the process-wide registry from
+:mod:`repro.obs.registry`.  By default that registry is a no-op
+(:data:`NULL_REGISTRY`), so the uninstrumented hot path pays one empty
+method call per event; set ``REPRO_METRICS=1`` (or call
+:func:`enable_metrics` / :func:`use_registry` before constructing the
+pipeline) to record.
+
+See DESIGN.md §11 for the metric taxonomy and the README's
+"Observability" section for the operator workflow.
+"""
+
+from repro.obs.logs import LOGGER_NAME, configure_logging, get_logger
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Span,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+    set_registry,
+    span,
+    use_registry,
+)
+from repro.obs.reporter import (
+    PipelineStatsReporter,
+    parse_snapshots,
+    read_snapshots,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "span",
+    "configure_logging",
+    "get_logger",
+    "LOGGER_NAME",
+    "PipelineStatsReporter",
+    "parse_snapshots",
+    "read_snapshots",
+]

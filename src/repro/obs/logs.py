@@ -1,0 +1,95 @@
+"""Structured logging setup for the pipeline.
+
+One package-level logger (``repro``) with stage children
+(``repro.cli``, ``repro.detection`` …).  :func:`configure_logging`
+is idempotent: the first call attaches a stderr handler with a
+timestamped format; later calls only adjust the level, so libraries
+and tests can call it freely without stacking duplicate handlers.
+
+Nothing configures logging at import time — an embedding application
+keeps full control until it (or the CLI) opts in.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["configure_logging", "get_logger", "LOGGER_NAME"]
+
+#: Root of the package's logger hierarchy.
+LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def _coerce_level(level: int | str) -> int:
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).strip().upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    return resolved
+
+
+class _LazyStderrHandler(logging.StreamHandler):
+    """Stream handler that resolves ``sys.stderr`` at emit time.
+
+    Binding the stream per record keeps log output visible to harnesses
+    that swap ``sys.stderr`` after configuration (pytest's capsys does).
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self) -> IO[str]:
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value: IO[str]) -> None:
+        pass
+
+
+def configure_logging(
+    level: int | str = "info",
+    stream: IO[str] | None = None,
+    force: bool = False,
+) -> logging.Logger:
+    """Attach (once) a formatted handler to the ``repro`` logger.
+
+    Args:
+        level: name (``"debug"``/``"info"``/…) or numeric level.
+        stream: handler target; defaults to the *current* ``sys.stderr``
+            on every emission.
+        force: drop existing handlers and re-attach (tests use this to
+            redirect the stream).
+
+    Returns the configured package logger.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    numeric = _coerce_level(level)
+    if force:
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+    if not logger.handlers:
+        handler: logging.Handler = (
+            logging.StreamHandler(stream) if stream is not None
+            else _LazyStderrHandler()
+        )
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(numeric)
+    return logger
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Child logger under the package hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    if name == LOGGER_NAME or name.startswith(LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")

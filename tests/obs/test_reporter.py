@@ -1,0 +1,107 @@
+"""Tests for the JSON-lines pipeline stats reporter."""
+
+import io
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    PipelineStatsReporter,
+    parse_snapshots,
+    read_snapshots,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for interval tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestReporter:
+    def test_emit_collects_lines_without_sink(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(7)
+        reporter = PipelineStatsReporter(registry=registry)
+        data = reporter.emit("checkpoint")
+        assert data["reason"] == "checkpoint"
+        assert data["counters"]["events"] == 7
+        assert reporter.emitted == 1
+        parsed = parse_snapshots(reporter.lines)
+        assert parsed == [data]
+
+    def test_jsonl_roundtrip_through_file(self, tmp_path):
+        path = str(tmp_path / "stats.jsonl")
+        registry = MetricsRegistry()
+        registry.counter("pkts").inc(3)
+        registry.histogram("lat").observe(0.5)
+        reporter = PipelineStatsReporter(registry=registry, out=path)
+        reporter.emit("interval")
+        registry.counter("pkts").inc(2)
+        reporter.finalize()
+        snapshots = read_snapshots(path)
+        assert [s["reason"] for s in snapshots] == ["interval", "finalize"]
+        assert [s["counters"]["pkts"] for s in snapshots] == [3, 5]
+        assert snapshots[0]["histograms"]["lat"]["count"] == 1
+        # Every line is standalone JSON with stable key order.
+        with open(path) as handle:
+            for line in handle:
+                assert json.loads(line)
+
+    def test_file_sink_appends(self, tmp_path):
+        path = str(tmp_path / "stats.jsonl")
+        for _ in range(2):
+            reporter = PipelineStatsReporter(
+                registry=MetricsRegistry(), out=path
+            )
+            reporter.finalize()
+        assert len(read_snapshots(path)) == 2
+
+    def test_stream_sink_is_not_closed(self):
+        stream = io.StringIO()
+        reporter = PipelineStatsReporter(
+            registry=MetricsRegistry(), out=stream
+        )
+        reporter.finalize()
+        assert not stream.closed
+        assert parse_snapshots(stream.getvalue().splitlines())
+
+    def test_maybe_emit_honours_interval(self):
+        clock = FakeClock()
+        reporter = PipelineStatsReporter(
+            registry=MetricsRegistry(), interval=5.0, clock=clock
+        )
+        assert reporter.maybe_emit() is None  # 0s elapsed
+        clock.advance(4.9)
+        assert reporter.maybe_emit() is None
+        clock.advance(0.2)
+        assert reporter.maybe_emit() is not None
+        # Interval restarts from the last emission.
+        clock.advance(4.9)
+        assert reporter.maybe_emit() is None
+        clock.advance(0.2)
+        assert reporter.maybe_emit() is not None
+        assert reporter.emitted == 2
+
+    def test_maybe_emit_disabled_without_interval(self):
+        clock = FakeClock()
+        reporter = PipelineStatsReporter(
+            registry=MetricsRegistry(), clock=clock
+        )
+        clock.advance(1e9)
+        assert reporter.maybe_emit() is None
+        assert reporter.emitted == 0
+
+    def test_elapsed_seconds_uses_clock(self):
+        clock = FakeClock()
+        reporter = PipelineStatsReporter(
+            registry=MetricsRegistry(), clock=clock
+        )
+        clock.advance(3.5)
+        assert reporter.snapshot()["elapsed_seconds"] == 3.5

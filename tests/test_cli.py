@@ -73,3 +73,80 @@ class TestToolWorkflow:
         code = main(["detect", pcap, "--model", model_path])
         assert code == 0
         assert "0 alert(s)" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def cli_model(tmp_path_factory):
+    """One trained model JSON shared by the error/metrics tests."""
+    path = str(tmp_path_factory.mktemp("cli-model") / "model.json")
+    assert main(["train", "--out", path, "--scale", "0.05",
+                 "--seed", "11"]) == 0
+    return path
+
+
+class TestCliErrors:
+    """Actionable errors, not tracebacks, for operator mistakes."""
+
+    def _pcap(self, tmp_path):
+        pcap = str(tmp_path / "b.pcap")
+        assert main(["synth", pcap, "--kind", "benign", "--seed", "3"]) == 0
+        return pcap
+
+    def test_detect_missing_model(self, tmp_path, capsys):
+        pcap = self._pcap(tmp_path)
+        missing = str(tmp_path / "nope.json")
+        assert main(["detect", pcap, "--model", missing]) == 2
+        err = capsys.readouterr().err
+        assert "model file not found" in err
+        assert "Traceback" not in err
+
+    def test_detect_corrupt_model(self, tmp_path, capsys):
+        pcap = self._pcap(tmp_path)
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{not json at all")
+        assert main(["detect", pcap, "--model", str(corrupt)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot load model" in err
+        assert "Traceback" not in err
+
+    def test_detect_wrong_payload_model(self, tmp_path, capsys):
+        pcap = self._pcap(tmp_path)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"model": "SomethingElse"}')
+        assert main(["detect", pcap, "--model", str(wrong)]) == 2
+        assert "cannot load model" in capsys.readouterr().err
+
+    def test_detect_missing_capture(self, cli_model, tmp_path, capsys):
+        assert main(["detect", str(tmp_path / "missing.pcap"),
+                     "--model", cli_model]) == 2
+        assert "capture file not found" in capsys.readouterr().err
+
+    def test_train_unwritable_out(self, tmp_path, capsys):
+        out = str(tmp_path / "no" / "such" / "dir" / "model.json")
+        assert main(["train", "--out", out, "--scale", "0.05",
+                     "--seed", "11"]) == 2
+        assert "cannot write model" in capsys.readouterr().err
+
+
+class TestCliMetrics:
+    def test_detect_with_metrics_writes_snapshots(self, cli_model, tmp_path):
+        from repro.obs import get_registry, read_snapshots, set_registry
+
+        pcap = str(tmp_path / "angler.pcap")
+        stats = str(tmp_path / "stats.jsonl")
+        assert main(["synth", pcap, "--kind", "Angler", "--seed", "5"]) == 0
+        previous = get_registry()
+        try:
+            code = main(["detect", pcap, "--model", cli_model,
+                         "--threshold", "0.5", "--metrics",
+                         "--stats-out", stats])
+        finally:
+            # --metrics swaps the process-wide registry; put it back.
+            set_registry(previous)
+        assert code in (0, 1)
+        snapshots = read_snapshots(stats)
+        assert len(snapshots) >= 1
+        final = snapshots[-1]
+        assert final["reason"] == "finalize"
+        assert final["counters"]["decode.packets"] > 0
+        assert final["counters"]["http.transactions"] > 0
