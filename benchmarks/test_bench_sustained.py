@@ -1,0 +1,193 @@
+"""Sustained-load harness: steady-state throughput and hostile soak.
+
+ROADMAP item 2: feed the live detector a long mixed workload from
+:mod:`repro.loadgen` and measure what a deployed tap actually cares
+about — steady-state packets/sec, p99 per-packet decision latency, and
+the memory ceiling — then soak it in purely hostile traffic (overflow
+connections, orphan responses, overlapping retransmission storms,
+floods, garbage frames) and prove it degrades *visibly* (nonzero
+``decode.dropped`` / ``reassembly.overflows``) instead of crashing or
+growing without bound.
+
+Both tests append their sections to ``benchmarks/out/BENCH_sustained.json``
+(the trajectory artifact CI uploads) and the throughput run streams
+telemetry snapshots to ``sustained_stats.jsonl`` via the ``repro.obs``
+reporter.  ``REPRO_SCALE`` scales packet counts; ``BENCH_ROUNDS=1``
+(CI smoke) is implicit — each test is a single pass by design.
+"""
+
+import json
+import time
+import tracemalloc
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.detection.detector import OnTheWireDetector
+from repro.detection.live import LiveDetector, OverloadPolicy
+from repro.experiments.context import trained_classifier
+from repro.loadgen import HOSTILE, LoadGenerator
+from repro.obs import MetricsRegistry, PipelineStatsReporter, use_registry
+
+#: Packets per pass (full scale: 200k mixed, 60k hostile).
+TOTAL_PACKETS = max(4_000, int(200_000 * BENCH_SCALE))
+SOAK_PACKETS = max(3_000, int(60_000 * BENCH_SCALE))
+WINDOWS = 10
+
+
+def _merge_artifact(artifact_dir, section: str, payload: dict) -> None:
+    """Merge one section into BENCH_sustained.json (order-independent)."""
+    path = artifact_dir / "BENCH_sustained.json"
+    doc = {"schema": "bench.sustained.v1",
+           "scale": BENCH_SCALE, "seed": BENCH_SEED}
+    if path.exists():
+        doc.update(json.loads(path.read_text()))
+    doc[section] = payload
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\n[saved {section} to {path}]")
+
+
+def _drive(detector: LiveDetector, packets) -> tuple[int, list[float], int]:
+    """Feed a stream; returns (packets, per-feed seconds, alerts)."""
+    fed = 0
+    alerts = 0
+    feed_times: list[float] = []
+    for packet in packets:
+        started = time.perf_counter()
+        alerts += len(detector.feed(packet))
+        feed_times.append(time.perf_counter() - started)
+        fed += 1
+    started = time.perf_counter()
+    alerts += len(detector.finish())
+    feed_times.append(time.perf_counter() - started)
+    return fed, feed_times, alerts
+
+
+def test_bench_sustained_throughput(artifact_dir):
+    """Mixed workload at line rate: pps trajectory, p99 latency, memory."""
+    classifier = trained_classifier(BENCH_SEED, BENCH_SCALE)
+
+    # Timed pass: metrics off (NullRegistry), no tracing — clean timing.
+    generator = LoadGenerator(seed=BENCH_SEED, concurrency=8)
+    detector = LiveDetector(OnTheWireDetector(classifier),
+                            book=generator.book)
+    fed, feed_times, alerts = _drive(
+        detector, generator.packets(limit=TOTAL_PACKETS)
+    )
+    assert fed == TOTAL_PACKETS
+    assert detector.transactions_emitted > 0
+
+    # Per-window trajectory; steady state excludes the warm-up window.
+    window = max(1, fed // WINDOWS)
+    windows = []
+    for index in range(0, fed - window + 1, window):
+        chunk = feed_times[index : index + window]
+        windows.append({
+            "packets": len(chunk),
+            "pps": len(chunk) / max(sum(chunk), 1e-9),
+            "p99_ms": float(np.percentile(chunk, 99)) * 1e3,
+        })
+    steady = windows[1:] or windows
+    steady_pps = (
+        sum(w["packets"] for w in steady)
+        / max(sum(w["packets"] / w["pps"] for w in steady), 1e-9)
+    )
+    p99_ms = float(np.percentile(feed_times[window:] or feed_times, 99)) * 1e3
+
+    # Traced pass (shorter): the memory ceiling of the whole tap —
+    # generator + reassembly + pairing + detector state together.
+    tracemalloc.start()
+    traced_gen = LoadGenerator(seed=BENCH_SEED + 1, concurrency=8)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        traced = LiveDetector(OnTheWireDetector(classifier),
+                              book=traced_gen.book)
+        _drive(traced, traced_gen.packets(limit=TOTAL_PACKETS // 2))
+        reporter = PipelineStatsReporter(
+            registry=registry, out=str(artifact_dir / "sustained_stats.jsonl")
+        )
+        snapshot = reporter.finalize()
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    print(f"\nsustained: {steady_pps:,.0f} pkt/s steady-state, "
+          f"p99 {p99_ms:.2f} ms, peak {peak_bytes / 2**20:.1f} MiB "
+          f"over {fed:,} packets ({alerts} alerts)")
+    _merge_artifact(artifact_dir, "sustained", {
+        "packets": fed,
+        "transactions": detector.transactions_emitted,
+        "alerts": alerts,
+        "steady_state_pps": steady_pps,
+        "p99_decision_latency_ms": p99_ms,
+        "peak_traced_bytes": peak_bytes,
+        "windows": windows,
+        "counters": {
+            k: v for k, v in sorted(snapshot["counters"].items())
+        },
+    })
+
+    # Conservative floors (measured ~10x higher locally): regressions
+    # that destroy throughput or latency fail loudly, noise does not.
+    assert steady_pps > 1_000
+    assert p99_ms < 50.0
+    # Memory ceiling: the tap must not retain the stream.  Budget scales
+    # with the (bounded) live state, not with packets fed.
+    assert peak_bytes < 512 * 2**20
+
+
+def test_bench_hostile_soak(artifact_dir):
+    """Pure hostile traffic with tight caps: degrade visibly, never die."""
+    classifier = trained_classifier(BENCH_SEED, BENCH_SCALE)
+    generator = LoadGenerator(
+        seed=BENCH_SEED, mix=HOSTILE, concurrency=10,
+        overflow_bytes=128 * 1024,
+    )
+    policy = OverloadPolicy(
+        max_connections=64,
+        max_buffered_per_direction=32 * 1024,
+    )
+
+    tracemalloc.start()
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        detector = LiveDetector(OnTheWireDetector(classifier),
+                                book=generator.book, policy=policy)
+        fed, feed_times, alerts = _drive(
+            detector, generator.packets(limit=SOAK_PACKETS)
+        )
+        snapshot = registry.snapshot()
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    counters = snapshot["counters"]
+    p99_ms = float(np.percentile(feed_times, 99)) * 1e3
+    print(f"\nhostile soak: {fed:,} packets, peak "
+          f"{peak_bytes / 2**20:.1f} MiB, p99 {p99_ms:.2f} ms; "
+          f"overflows={counters['reassembly.overflows']} "
+          f"dropped={counters['decode.dropped']} "
+          f"orphans={counters['http.orphan_responses']} "
+          f"errors={counters['decode.errors']}")
+    _merge_artifact(artifact_dir, "hostile_soak", {
+        "packets": fed,
+        "transactions": detector.transactions_emitted,
+        "alerts": alerts,
+        "p99_decision_latency_ms": p99_ms,
+        "peak_traced_bytes": peak_bytes,
+        "policy": {
+            "max_connections": policy.max_connections,
+            "max_buffered_per_direction":
+                policy.max_buffered_per_direction,
+        },
+        "counters": {k: v for k, v in sorted(counters.items())},
+    })
+
+    # The soak completed (no uncaught exception reached here) and every
+    # degradation pathway actually fired and was counted.
+    assert fed == SOAK_PACKETS
+    assert counters["reassembly.overflows"] > 0, "overflow shed never fired"
+    assert counters["decode.dropped"] > 0, "connection-cap shed never fired"
+    assert counters["http.orphan_responses"] > 0, "orphans not counted"
+    assert counters["decode.errors"] > 0, "malformed frames not counted"
+    # Bounded memory: hostile load may not accumulate state without
+    # limit.  The budget covers capped live state at full scale.
+    assert peak_bytes < 256 * 2**20

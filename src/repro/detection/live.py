@@ -30,26 +30,60 @@ quadratically.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.model import HttpTransaction
 from repro.detection.alerts import Alert
 from repro.detection.detector import OnTheWireDetector
 from repro.exceptions import HttpParseError, PcapError
 from repro.net.flows import AddressBook, StreamPairer, _segments_of
 from repro.net.pcap import LINKTYPE_ETHERNET, PcapPacket
-from repro.net.reassembly import FlowKey, TcpReassembler, TcpStream
+from repro.net.reassembly import (
+    DEFAULT_MAX_BUFFERED,
+    FlowKey,
+    TcpReassembler,
+    TcpStream,
+)
 from repro.obs import PipelineStatsReporter, get_registry
 
-__all__ = ["LiveDecoder", "LiveDetector"]
+__all__ = ["OverloadPolicy", "LiveDecoder", "LiveDetector"]
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Explicit load-shedding rules for a saturated tap.
+
+    A live tap cannot apply backpressure to the wire, so overload has to
+    shed *something*; this policy makes the shedding deliberate and
+    observable rather than an exception or an unbounded buffer:
+
+    * ``max_connections`` — cap on concurrently tracked connections.
+      Segments that would *open* a connection past the cap are dropped
+      and counted (``decode.dropped``); established connections keep
+      flowing, so a SYN/connection flood degrades new-flow visibility
+      first and never evicts live sessions.
+    * ``max_buffered_per_direction`` — cap on out-of-order bytes held
+      per stream direction.  A direction exceeding it stops being
+      reassembled (its decoded prefix stands) and is counted
+      (``reassembly.overflows``); the rest of the tap is unaffected.
+    """
+
+    max_connections: int = 100_000
+    max_buffered_per_direction: int = DEFAULT_MAX_BUFFERED
 
 
 class LiveDecoder:
     """Incremental pcap-record -> HTTP-transaction decoder."""
 
     def __init__(self, linktype: int = LINKTYPE_ETHERNET,
-                 book: AddressBook | None = None):
+                 book: AddressBook | None = None,
+                 policy: OverloadPolicy | None = None):
         self.linktype = linktype
         self.book = book
-        self._reassembler = TcpReassembler()
+        self.policy = policy if policy is not None else OverloadPolicy()
+        self._reassembler = TcpReassembler(
+            max_buffered=self.policy.max_buffered_per_direction
+        )
         #: Per-connection incremental pairing state machines.
         self._pairers: dict[FlowKey, StreamPairer] = {}
         #: Connections whose payload is not HTTP (skip quietly).
@@ -58,6 +92,7 @@ class LiveDecoder:
         self._c_packets = self._metrics.counter("decode.packets")
         self._c_bytes = self._metrics.counter("decode.bytes")
         self._c_errors = self._metrics.counter("decode.errors")
+        self._c_dropped = self._metrics.counter("decode.dropped")
         self._c_not_http = self._metrics.counter("decode.non_http_streams")
 
     def feed(self, packet: PcapPacket) -> list[HttpTransaction]:
@@ -76,6 +111,17 @@ class LiveDecoder:
                 for ts, src, dst, segment in _segments_of(
                     [packet], self.linktype
                 ):
+                    key = FlowKey.of(src, segment.src_port,
+                                     dst, segment.dst_port)
+                    if (
+                        key not in self._reassembler
+                        and len(self._reassembler)
+                        >= self.policy.max_connections
+                    ):
+                        # Overload shed (OverloadPolicy): refuse to open
+                        # connections past the cap, visibly.
+                        self._c_dropped.inc()
+                        continue
                     stream = self._reassembler.feed(ts, src, dst, segment)
                     emitted.extend(self._drain(stream, final=stream.closed))
             except PcapError:
@@ -119,9 +165,11 @@ class LiveDetector:
     def __init__(self, detector: OnTheWireDetector,
                  linktype: int = LINKTYPE_ETHERNET,
                  book: AddressBook | None = None,
-                 reporter: PipelineStatsReporter | None = None):
+                 reporter: PipelineStatsReporter | None = None,
+                 policy: OverloadPolicy | None = None):
         self.detector = detector
-        self.decoder = LiveDecoder(linktype=linktype, book=book)
+        self.decoder = LiveDecoder(linktype=linktype, book=book,
+                                   policy=policy)
         self.reporter = reporter
         self.transactions_emitted = 0
         self._metrics = get_registry()

@@ -1,0 +1,49 @@
+"""Line-rate mixed-workload generation for sustained-load testing.
+
+``repro.loadgen`` streams unbounded packet workloads that interleave
+benign browsing, exploit-kit episodes, and hostile/pathological traffic
+(floods, slow drips, giant pipelined connections, retransmission storms
+with overlapping segments, malformed bursts, orphan responses, buffer
+overflow attempts) — without ever materializing more than a handful of
+episodes in memory.  See DESIGN.md §12 for the workload taxonomy.
+"""
+
+from repro.loadgen.episodes import (
+    HostAllocator,
+    RawConnection,
+    benign_episode,
+    exploit_kit_episode,
+    giant_pipelined_episode,
+    http_flood_episode,
+    malformed_burst_episode,
+    orphan_response_episode,
+    overflow_episode,
+    retrans_storm_episode,
+    slow_drip_episode,
+)
+from repro.loadgen.generator import (
+    BENIGN_ONLY,
+    HOSTILE,
+    MIXED,
+    LoadGenerator,
+    WorkloadMix,
+)
+
+__all__ = [
+    "LoadGenerator",
+    "WorkloadMix",
+    "MIXED",
+    "HOSTILE",
+    "BENIGN_ONLY",
+    "HostAllocator",
+    "RawConnection",
+    "benign_episode",
+    "exploit_kit_episode",
+    "http_flood_episode",
+    "slow_drip_episode",
+    "giant_pipelined_episode",
+    "retrans_storm_episode",
+    "malformed_burst_episode",
+    "orphan_response_episode",
+    "overflow_episode",
+]

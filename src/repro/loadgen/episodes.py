@@ -1,0 +1,414 @@
+"""Workload episodes: bounded bursts of packets, benign through hostile.
+
+Each builder returns the time-sorted packet list for ONE episode — a
+browsing session, an exploit-kit run, or a pathological traffic pattern
+(flood, drip, storm, ...).  Episodes are deliberately bounded (at most a
+few thousand packets) so :class:`~repro.loadgen.generator.LoadGenerator`
+can interleave an unbounded stream of them while holding only the
+handful currently in flight.
+
+The hostile builders use :class:`RawConnection`, a TCP conversation
+emitter with *full sequence-number control*: unlike the well-formed
+encoder in :mod:`repro.net.flows` it can retransmit, overlap, reorder,
+and leave holes — the wire behaviours a tap must survive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.flows import AddressBook, packets_from_trace
+from repro.net.packets import (
+    ACK,
+    FIN,
+    PSH,
+    RST,
+    SYN,
+    encode_tcp_in_ipv4_ethernet,
+)
+from repro.net.pcap import PcapPacket
+from repro.synthesis.benign import BenignGenerator
+from repro.synthesis.families import EXPLOIT_KIT_FAMILIES
+from repro.synthesis.infection import InfectionGenerator
+
+__all__ = [
+    "RawConnection",
+    "HostAllocator",
+    "benign_episode",
+    "exploit_kit_episode",
+    "http_flood_episode",
+    "slow_drip_episode",
+    "giant_pipelined_episode",
+    "retrans_storm_episode",
+    "malformed_burst_episode",
+    "orphan_response_episode",
+    "overflow_episode",
+]
+
+_FLOOD_UAS = (
+    "Mozilla/5.0 (compatible; stressbot/1.0)",
+    "python-requests/2.31.0",
+    "curl/8.4.0",
+)
+
+
+class HostAllocator:
+    """Deterministic endpoint allocator for hand-rolled connections.
+
+    Clients come from 172.31/16 with ephemeral ports, servers from the
+    198.51.100/16 documentation range — disjoint from the 10/8 and
+    172.16/16 blocks the :class:`~repro.net.flows.AddressBook` hands to
+    synthetic traces, so hostile flows never collide with benign ones.
+    """
+
+    def __init__(self) -> None:
+        self._clients = 0
+        self._servers = 0
+
+    def client(self) -> tuple[str, int]:
+        n = self._clients
+        self._clients += 1
+        ip = f"172.31.{(n // 250) % 250}.{n % 250 + 1}"
+        return ip, 49152 + (n % 16000)
+
+    def server(self) -> str:
+        n = self._servers
+        self._servers += 1
+        return f"198.51.{(n // 250) % 100 + 100}.{n % 250 + 1}"
+
+
+class RawConnection:
+    """One TCP conversation with explicit per-direction stream offsets.
+
+    ``send`` emits in-order MTU-split segments; ``segment`` places a
+    payload at an *arbitrary* stream offset without bookkeeping —
+    retransmissions, overlaps, and deliberate holes are all just
+    ``segment`` calls.  Offsets are relative to the first payload byte
+    (i.e. ISN+1).
+    """
+
+    def __init__(self, client_ip: str, client_port: int, server_ip: str,
+                 server_port: int = 80):
+        self.client_ip = client_ip
+        self.client_port = client_port
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self.client_isn = 1_000_000
+        self.server_isn = 5_000_000
+        #: Next unwritten in-order offset per direction.
+        self._sent = {True: 0, False: 0}
+
+    def _frame(self, ts: float, from_client: bool, flags: int,
+               payload: bytes = b"", offset: int | None = None) -> PcapPacket:
+        if offset is None:
+            offset = self._sent[from_client]
+        isn = self.client_isn if from_client else self.server_isn
+        seq = (isn + 1 + offset) % (1 << 32)
+        ack = (self.server_isn if from_client else self.client_isn) + 1
+        if from_client:
+            src, dst = (self.client_ip, self.client_port), \
+                (self.server_ip, self.server_port)
+        else:
+            src, dst = (self.server_ip, self.server_port), \
+                (self.client_ip, self.client_port)
+        data = encode_tcp_in_ipv4_ethernet(
+            src[0], dst[0], src[1], dst[1], seq, ack, flags, payload
+        )
+        end = offset + len(payload)
+        if end > self._sent[from_client]:
+            self._sent[from_client] = end
+        return PcapPacket(timestamp=ts, data=data)
+
+    def open(self, ts: float) -> list[PcapPacket]:
+        """Three-way handshake."""
+        return [
+            PcapPacket(ts, encode_tcp_in_ipv4_ethernet(
+                self.client_ip, self.server_ip, self.client_port,
+                self.server_port, self.client_isn, 0, SYN)),
+            PcapPacket(ts + 5e-5, encode_tcp_in_ipv4_ethernet(
+                self.server_ip, self.client_ip, self.server_port,
+                self.client_port, self.server_isn, self.client_isn + 1,
+                SYN | ACK)),
+            PcapPacket(ts + 1e-4, encode_tcp_in_ipv4_ethernet(
+                self.client_ip, self.server_ip, self.client_port,
+                self.server_port, self.client_isn + 1, self.server_isn + 1,
+                ACK)),
+        ]
+
+    def send(self, ts: float, from_client: bool, payload: bytes,
+             mtu: int = 1400) -> list[PcapPacket]:
+        """In-order push, split into ``mtu``-byte segments."""
+        frames = []
+        for cut in range(0, len(payload), mtu):
+            chunk = payload[cut : cut + mtu]
+            flags = PSH | ACK if cut + mtu >= len(payload) else ACK
+            frames.append(
+                self._frame(ts + cut * 1e-9, from_client, flags, chunk)
+            )
+        return frames
+
+    def segment(self, ts: float, from_client: bool, payload: bytes,
+                offset: int) -> PcapPacket:
+        """One segment at an explicit stream offset (hole/overlap/dup)."""
+        return self._frame(ts, from_client, PSH | ACK, payload,
+                           offset=offset)
+
+    def close(self, ts: float) -> list[PcapPacket]:
+        """Graceful FIN exchange."""
+        return [
+            self._frame(ts, True, FIN | ACK),
+            self._frame(ts + 5e-5, False, FIN | ACK),
+        ]
+
+    def reset(self, ts: float) -> list[PcapPacket]:
+        """Abortive RST teardown."""
+        return [self._frame(ts, True, RST)]
+
+
+def _http_get(host: str, uri: str, agent: str,
+              extra: str = "") -> bytes:
+    return (
+        f"GET {uri} HTTP/1.1\r\nHost: {host}\r\n"
+        f"User-Agent: {agent}\r\n{extra}\r\n"
+    ).encode("latin-1")
+
+
+def _http_response(status: int, body: bytes,
+                   content_type: str = "text/html") -> bytes:
+    reason = {200: "OK", 204: "No Content", 404: "Not Found",
+              503: "Service Unavailable"}.get(status, "OK")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode("latin-1") + body
+
+
+def _rebase(packets: list[PcapPacket], start: float) -> list[PcapPacket]:
+    """Shift an episode's capture so its first packet lands at ``start``."""
+    if not packets:
+        return packets
+    shift = start - packets[0].timestamp
+    return [
+        PcapPacket(timestamp=p.timestamp + shift, data=p.data)
+        for p in packets
+    ]
+
+
+def benign_episode(rng: np.random.Generator, start: float,
+                   book: AddressBook) -> list[PcapPacket]:
+    """One multi-tab benign browsing session, materialized on the wire."""
+    trace = BenignGenerator(rng).generate_session()
+    packets, _ = packets_from_trace(trace, book=book)
+    return _rebase(packets, start)
+
+
+def exploit_kit_episode(rng: np.random.Generator, start: float,
+                        book: AddressBook) -> list[PcapPacket]:
+    """One exploit-kit infection episode from a random family profile."""
+    profile = EXPLOIT_KIT_FAMILIES[
+        int(rng.integers(0, len(EXPLOIT_KIT_FAMILIES)))
+    ]
+    trace = InfectionGenerator(profile, rng).generate()
+    packets, _ = packets_from_trace(trace, book=book)
+    return _rebase(packets, start)
+
+
+def http_flood_episode(rng: np.random.Generator, start: float,
+                       alloc: HostAllocator) -> list[PcapPacket]:
+    """HTTP flood: a burst of bot connections hammering one server.
+
+    Most requests go unanswered (the server is presumed saturated);
+    a few get a tiny 503.  Every connection opens, fires, and tears
+    down within milliseconds — the connection-table stressor.
+    """
+    target = alloc.server()
+    packets: list[PcapPacket] = []
+    ts = start
+    for _ in range(int(rng.integers(10, 40))):
+        conn = RawConnection(*alloc.client(), target)
+        agent = _FLOOD_UAS[int(rng.integers(0, len(_FLOOD_UAS)))]
+        request = _http_get(target, f"/?x={int(rng.integers(1e9))}", agent)
+        packets.extend(conn.open(ts))
+        packets.extend(conn.send(ts + 2e-4, True, request))
+        if rng.random() < 0.3:
+            packets.extend(conn.send(
+                ts + 5e-4, False, _http_response(503, b"busy")
+            ))
+            packets.extend(conn.close(ts + 7e-4))
+        else:
+            packets.extend(conn.reset(ts + 6e-4))
+        ts += float(rng.uniform(5e-5, 8e-4))
+    return packets
+
+
+def slow_drip_episode(rng: np.random.Generator, start: float,
+                      alloc: HostAllocator) -> list[PcapPacket]:
+    """Slowloris-style drip: a request trickled a few bytes at a time.
+
+    Stresses resumable-parser state retention: the tap holds partial
+    message state for minutes while almost no bytes arrive.
+    """
+    server = alloc.server()
+    conn = RawConnection(*alloc.client(), server)
+    request = _http_get(server, "/form", "Mozilla/5.0 (slow)",
+                        extra="X-Pad: " + "a" * 48 + "\r\n")
+    packets = conn.open(start)
+    ts = start + 0.01
+    cursor = 0
+    while cursor < len(request):
+        step = int(rng.integers(1, 4))
+        packets.extend(conn.send(ts, True, request[cursor:cursor + step]))
+        cursor += step
+        ts += float(rng.uniform(0.4, 2.0))
+    response = _http_response(200, b"<html>accepted</html>")
+    cursor = 0
+    while cursor < len(response):
+        step = int(rng.integers(1, 6))
+        packets.extend(conn.send(ts, False, response[cursor:cursor + step]))
+        cursor += step
+        ts += float(rng.uniform(0.2, 1.0))
+    packets.extend(conn.close(ts + 0.1))
+    return packets
+
+
+def giant_pipelined_episode(rng: np.random.Generator, start: float,
+                            alloc: HostAllocator) -> list[PcapPacket]:
+    """One persistent connection carrying hundreds of pipelined pairs."""
+    server = alloc.server()
+    conn = RawConnection(*alloc.client(), server)
+    count = int(rng.integers(120, 320))
+    requests = b"".join(
+        _http_get(server, f"/asset/{index}", "Mozilla/5.0 (pipeline)")
+        for index in range(count)
+    )
+    responses = b"".join(
+        _http_response(200, b"%06d" % index, "application/octet-stream")
+        for index in range(count)
+    )
+    packets = conn.open(start)
+    packets.extend(conn.send(start + 0.001, True, requests))
+    packets.extend(conn.send(start + 0.05, False, responses))
+    packets.extend(conn.close(start + 0.2))
+    return packets
+
+
+def retrans_storm_episode(rng: np.random.Generator, start: float,
+                          alloc: HostAllocator) -> list[PcapPacket]:
+    """Out-of-order / retransmission storm with overlapping segments.
+
+    A valid request/response pair whose response bytes arrive shuffled,
+    duplicated, and re-sliced at overlapping offsets — decoded output
+    must still be byte-identical to an in-order delivery.
+    """
+    server = alloc.server()
+    conn = RawConnection(*alloc.client(), server)
+    request = _http_get(server, "/download/blob", "Mozilla/5.0 (storm)")
+    body = bytes(rng.integers(32, 127, size=int(rng.integers(2_000, 12_000)),
+                              dtype=np.uint8))
+    response = _http_response(200, body, "application/octet-stream")
+
+    packets = conn.open(start)
+    packets.extend(conn.send(start + 0.001, True, request))
+    # Cut the response at random boundaries, then emit the pieces
+    # shuffled, with duplicates and deliberately overlapping re-slices.
+    cuts = sorted({
+        int(offset)
+        for offset in rng.integers(1, len(response),
+                                   size=max(3, len(response) // 700))
+    })
+    bounds = [0] + cuts + [len(response)]
+    pieces = [
+        (bounds[i], response[bounds[i]:bounds[i + 1]])
+        for i in range(len(bounds) - 1)
+    ]
+    order = list(rng.permutation(len(pieces)))
+    ts = start + 0.01
+    for index in order:
+        offset, chunk = pieces[index]
+        packets.append(conn.segment(ts, False, chunk, offset))
+        ts += float(rng.uniform(1e-5, 5e-4))
+        roll = rng.random()
+        if roll < 0.25:
+            # Straight duplicate (retransmission).
+            packets.append(conn.segment(ts, False, chunk, offset))
+            ts += float(rng.uniform(1e-5, 2e-4))
+        elif roll < 0.5:
+            # Overlapping re-slice: start earlier, run past the end.
+            back = int(rng.integers(1, 40))
+            lo = max(0, offset - back)
+            hi = min(len(response), offset + len(chunk) + back)
+            packets.append(conn.segment(ts, False, response[lo:hi], lo))
+            ts += float(rng.uniform(1e-5, 2e-4))
+    packets.extend(conn.close(ts + 0.01))
+    return packets
+
+
+def malformed_burst_episode(rng: np.random.Generator,
+                            start: float) -> list[PcapPacket]:
+    """A burst of frames the decoder was never meant to parse.
+
+    Random garbage, truncated headers, bad IHL/data offsets: each must
+    be counted (``decode.errors``) and skipped, never propagated.
+    """
+    packets: list[PcapPacket] = []
+    ts = start
+    for _ in range(int(rng.integers(5, 20))):
+        roll = rng.random()
+        if roll < 0.3:
+            size = int(rng.integers(1, 13))  # shorter than an Ethernet header
+        elif roll < 0.7:
+            size = int(rng.integers(14, 54))  # cuts into IP/TCP headers
+        else:
+            size = int(rng.integers(54, 200))  # full-size random garbage
+        data = bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+        packets.append(PcapPacket(timestamp=ts, data=data))
+        ts += float(rng.uniform(1e-5, 1e-3))
+    return packets
+
+
+def orphan_response_episode(rng: np.random.Generator, start: float,
+                            alloc: HostAllocator) -> list[PcapPacket]:
+    """A server talking without being asked: responses with no request.
+
+    The pairer must drain and count every orphan — one bad peer that
+    answers twice (or speaks first) cannot be allowed to wedge a
+    connection's accounting.
+    """
+    server = alloc.server()
+    conn = RawConnection(*alloc.client(), server)
+    packets = conn.open(start)
+    ts = start + 0.005
+    for index in range(int(rng.integers(2, 5))):
+        packets.extend(conn.send(
+            ts, False,
+            _http_response(200, b"unsolicited %d" % index),
+        ))
+        ts += float(rng.uniform(0.001, 0.01))
+    packets.extend(conn.close(ts + 0.01))
+    return packets
+
+
+def overflow_episode(rng: np.random.Generator, start: float,
+                     alloc: HostAllocator,
+                     oversize: int = 256 * 1024) -> list[PcapPacket]:
+    """A hole that never fills: out-of-order bytes past the buffer cap.
+
+    The server direction skips its first bytes and streams ``oversize``
+    bytes beyond the hole.  A tap with a per-direction buffer cap below
+    ``oversize`` must degrade that direction (``reassembly.overflows``)
+    and keep serving every other connection.
+    """
+    server = alloc.server()
+    conn = RawConnection(*alloc.client(), server)
+    request = _http_get(server, "/stream", "Mozilla/5.0 (hole)")
+    packets = conn.open(start)
+    packets.extend(conn.send(start + 0.001, True, request))
+    ts = start + 0.01
+    offset = 64  # bytes [0, 64) never arrive
+    while offset < oversize:
+        chunk = b"\xaa" * 1400
+        packets.append(conn.segment(ts, False, chunk, offset))
+        offset += len(chunk)
+        ts += float(rng.uniform(1e-5, 2e-4))
+    packets.extend(conn.close(ts + 0.01))
+    return packets

@@ -1,0 +1,181 @@
+"""Heap-interleaved streaming workload generator.
+
+:class:`LoadGenerator` turns the bounded episodes of
+:mod:`repro.loadgen.episodes` into an *unbounded* packet stream: it
+keeps at most ``concurrency`` episodes alive at once in a min-heap keyed
+by next-packet timestamp, yielding the globally earliest packet and
+replenishing finished episodes on the fly.  Memory is O(concurrency ×
+episode size) no matter how many packets are drawn — streaming a
+million packets costs the same residency as streaming a thousand.
+
+Everything is deterministic from ``seed``: the same seed and mix always
+produce the same wire bytes, which is what lets the hostile differential
+test compare live and batch decodes of the identical stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.loadgen import episodes as ep
+from repro.net.flows import AddressBook
+from repro.net.pcap import PcapPacket
+
+__all__ = ["WorkloadMix", "MIXED", "HOSTILE", "BENIGN_ONLY", "LoadGenerator"]
+
+_BASE_CLOCK = 1_500_000_000.0
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Relative episode-kind weights (normalized at sampling time)."""
+
+    benign: float = 0.5
+    exploit_kit: float = 0.1
+    http_flood: float = 0.08
+    slow_drip: float = 0.06
+    giant_pipelined: float = 0.06
+    retrans_storm: float = 0.08
+    malformed_burst: float = 0.05
+    orphan_response: float = 0.04
+    overflow: float = 0.03
+
+    def kinds_and_weights(self) -> tuple[list[str], np.ndarray]:
+        kinds = [f.name for f in fields(self)]
+        weights = np.array([getattr(self, k) for k in kinds], dtype=float)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("WorkloadMix weights must sum to > 0")
+        return kinds, weights / total
+
+
+#: Realistic tap mix: mostly benign, a sprinkle of everything hostile.
+MIXED = WorkloadMix()
+
+#: Pure adversarial soak: every pathological pattern, no benign cover.
+HOSTILE = WorkloadMix(
+    benign=0.0, exploit_kit=0.0, http_flood=0.22, slow_drip=0.12,
+    giant_pipelined=0.12, retrans_storm=0.22, malformed_burst=0.1,
+    orphan_response=0.12, overflow=0.1,
+)
+
+#: Clean-traffic baseline for throughput comparison.
+BENIGN_ONLY = WorkloadMix(
+    benign=0.9, exploit_kit=0.1, http_flood=0.0, slow_drip=0.0,
+    giant_pipelined=0.0, retrans_storm=0.0, malformed_burst=0.0,
+    orphan_response=0.0, overflow=0.0,
+)
+
+
+class LoadGenerator:
+    """Deterministic, memory-bounded mixed-workload packet stream.
+
+    Parameters
+    ----------
+    seed:
+        Seeds every random choice (mix sampling, episode internals).
+    mix:
+        Episode-kind weights; defaults to :data:`MIXED`.
+    concurrency:
+        Episodes interleaved at any moment.  Higher values overlap more
+        connections in time (more reassembler/pairer state in the tap
+        under test) without changing total packet count.
+    overflow_bytes:
+        Out-of-order bytes an ``overflow`` episode parks behind its
+        hole; set it above the tap's per-direction buffer cap to force
+        degradation.
+    book:
+        Shared :class:`~repro.net.flows.AddressBook` for trace-backed
+        episodes; pass the same book to batch decoding for host-name
+        round-trips.
+    """
+
+    def __init__(self, seed: int = 0, mix: WorkloadMix | None = None,
+                 concurrency: int = 8,
+                 overflow_bytes: int = 256 * 1024,
+                 book: AddressBook | None = None):
+        self.seed = seed
+        self.mix = mix if mix is not None else MIXED
+        self.concurrency = max(1, concurrency)
+        self.overflow_bytes = overflow_bytes
+        self.book = book if book is not None else AddressBook()
+        self._kinds, self._weights = self.mix.kinds_and_weights()
+
+    def _build(self, kind: str, rng: np.random.Generator, start: float,
+               alloc: ep.HostAllocator) -> list[PcapPacket]:
+        if kind == "benign":
+            return ep.benign_episode(rng, start, self.book)
+        if kind == "exploit_kit":
+            return ep.exploit_kit_episode(rng, start, self.book)
+        if kind == "http_flood":
+            return ep.http_flood_episode(rng, start, alloc)
+        if kind == "slow_drip":
+            return ep.slow_drip_episode(rng, start, alloc)
+        if kind == "giant_pipelined":
+            return ep.giant_pipelined_episode(rng, start, alloc)
+        if kind == "retrans_storm":
+            return ep.retrans_storm_episode(rng, start, alloc)
+        if kind == "malformed_burst":
+            return ep.malformed_burst_episode(rng, start)
+        if kind == "orphan_response":
+            return ep.orphan_response_episode(rng, start, alloc)
+        if kind == "overflow":
+            return ep.overflow_episode(rng, start, alloc,
+                                       oversize=self.overflow_bytes)
+        raise ValueError(f"unknown episode kind: {kind}")
+
+    def packets(self, limit: int | None = None) -> Iterator[PcapPacket]:
+        """Stream packets in global timestamp order, lazily.
+
+        At most ``concurrency`` episodes are materialized at once; a new
+        episode starts whenever one drains, its start time advancing a
+        random gap past the stream clock so load never dies out.  With
+        ``limit=None`` the stream is infinite.
+        """
+        rng = np.random.default_rng(self.seed)
+        alloc = ep.HostAllocator()
+        clock = _BASE_CLOCK
+        serial = 0  # heap tiebreaker + episode id
+        # Heap of (next_packet_ts, serial, index, episode_packets).
+        heap: list[tuple[float, int, int, list[PcapPacket]]] = []
+
+        def start_episode() -> None:
+            nonlocal clock, serial
+            kind = self._kinds[
+                int(rng.choice(len(self._kinds), p=self._weights))
+            ]
+            start = clock + float(rng.uniform(0.0, 0.5))
+            packets = self._build(kind, rng, start, alloc)
+            if not packets:
+                return
+            # Episodes interleave their own connections freely; sorting
+            # here restores the per-episode time order the heap merge
+            # relies on for a globally ordered stream.
+            packets.sort(key=lambda p: p.timestamp)
+            clock = max(clock, packets[0].timestamp)
+            heapq.heappush(heap, (packets[0].timestamp, serial, 0, packets))
+            serial += 1
+
+        for _ in range(self.concurrency):
+            start_episode()
+
+        emitted = 0
+        while heap and (limit is None or emitted < limit):
+            ts, sid, idx, packets = heapq.heappop(heap)
+            yield packets[idx]
+            emitted += 1
+            clock = max(clock, ts)
+            if idx + 1 < len(packets):
+                heapq.heappush(
+                    heap, (packets[idx + 1].timestamp, sid, idx + 1, packets)
+                )
+            else:
+                start_episode()
+
+    def capture(self, count: int) -> list[PcapPacket]:
+        """Materialize ``count`` packets (convenience for tests)."""
+        return list(self.packets(limit=count))

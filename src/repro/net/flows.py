@@ -24,7 +24,7 @@ from repro.core.model import (
     HttpTransaction,
     Trace,
 )
-from repro.exceptions import HttpParseError
+from repro.exceptions import HttpParseError, PcapError
 from repro.net.http1 import (
     RawHttpRequest,
     RawHttpResponse,
@@ -98,21 +98,29 @@ def _segments_of(packets: list[PcapPacket], linktype: int):
 
     IPv4 fragments are reassembled transparently; a fragmented TCP
     segment surfaces once, at the arrival time of its completing piece.
+    A record that fails link/IP/TCP decoding is counted
+    (``decode.errors``) and skipped: real taps carry mangled frames, and
+    one of them must not abort the capture — batch and live alike.
     """
     fragments = IpFragmentReassembler()
+    errors = get_registry().counter("decode.errors")
     for packet in packets:
-        data = packet.data
-        if linktype == LINKTYPE_ETHERNET:
-            frame = decode_ethernet(data)
-            if frame.ethertype != ETHERTYPE_IPV4:
+        try:
+            data = packet.data
+            if linktype == LINKTYPE_ETHERNET:
+                frame = decode_ethernet(data)
+                if frame.ethertype != ETHERTYPE_IPV4:
+                    continue
+                data = frame.payload
+            elif linktype != LINKTYPE_RAW_IP:
                 continue
-            data = frame.payload
-        elif linktype != LINKTYPE_RAW_IP:
+            ip = fragments.feed(decode_ipv4(data))
+            if ip is None or ip.protocol != IPPROTO_TCP:
+                continue
+            segment = decode_tcp(ip.payload)
+        except PcapError:
+            errors.inc()
             continue
-        ip = fragments.feed(decode_ipv4(data))
-        if ip is None or ip.protocol != IPPROTO_TCP:
-            continue
-        segment = decode_tcp(ip.payload)
         yield packet.timestamp, ip.src, ip.dst, segment
 
 
@@ -191,8 +199,11 @@ class StreamPairer:
                 if not self._unanswered:
                     # Responses outrunning requests are dropped: a
                     # pairing mismatch worth watching on a live tap.
+                    # Every orphan in the batch is drained and counted
+                    # individually — bailing out on the first would
+                    # silently discard (and undercount) the rest.
                     self._c_orphans.inc()
-                    break
+                    continue
                 request = self._unanswered.popleft()
                 response = self._build_response(raw_res, server_state, request)
                 out.append(HttpTransaction(request=request, response=response))
@@ -260,15 +271,24 @@ def transactions_from_packets(
     packets: list[PcapPacket],
     linktype: int = LINKTYPE_ETHERNET,
     book: AddressBook | None = None,
+    max_buffered: int | None = None,
 ) -> list[HttpTransaction]:
-    """Full pipeline: pcap records -> ordered HTTP transactions."""
+    """Full pipeline: pcap records -> ordered HTTP transactions.
+
+    ``max_buffered`` caps each direction's out-of-order buffer (the
+    same knob the live tap's overload policy sets), so batch and live
+    decoding of a hostile capture degrade identically.
+    """
     metrics = get_registry()
     if metrics.enabled:
         metrics.counter("decode.packets").inc(len(packets))
         metrics.counter("decode.bytes").inc(
             sum(len(packet.data) for packet in packets)
         )
-    reassembler = TcpReassembler()
+    reassembler = (
+        TcpReassembler() if max_buffered is None
+        else TcpReassembler(max_buffered=max_buffered)
+    )
     for ts, src, dst, segment in _segments_of(packets, linktype):
         reassembler.feed(ts, src, dst, segment)
     transactions: list[HttpTransaction] = []

@@ -17,11 +17,18 @@ from repro.exceptions import TcpReassemblyError
 from repro.net.packets import TcpSegment
 from repro.obs import get_registry
 
-__all__ = ["FlowKey", "StreamDirection", "TcpStream", "TcpReassembler"]
+__all__ = [
+    "DEFAULT_MAX_BUFFERED",
+    "FlowKey",
+    "StreamDirection",
+    "TcpStream",
+    "TcpReassembler",
+]
 
 _SEQ_MOD = 1 << 32
 #: Refuse to buffer more than this many out-of-order bytes per direction.
-_MAX_BUFFERED = 32 * 1024 * 1024
+DEFAULT_MAX_BUFFERED = 32 * 1024 * 1024
+_MAX_BUFFERED = DEFAULT_MAX_BUFFERED
 
 
 @dataclass(frozen=True, order=True)
@@ -64,7 +71,16 @@ class StreamDirection:
     dst: tuple[str, int]
     data: bytearray = field(default_factory=bytearray)
     next_seq: int | None = None
-    pending: dict[int, bytes] = field(default_factory=dict)
+    #: Out-of-order chunks waiting on a hole: seq -> (payload, arrival
+    #: timestamp).  The timestamp rides along so bytes drained later
+    #: keep their *true* arrival time in ``marks``.
+    pending: dict[int, tuple[bytes, float]] = field(default_factory=dict)
+    #: Out-of-order buffer cap for this direction; exceeding it raises
+    #: :class:`TcpReassemblyError` from :meth:`feed`.
+    max_buffered: int = DEFAULT_MAX_BUFFERED
+    #: Reassembly abandoned (buffer overflow): the contiguous prefix
+    #: stands, further payload on this direction is ignored.
+    broken: bool = False
     fin_seen: bool = False
     first_ts: float | None = None
     last_ts: float | None = None
@@ -120,19 +136,47 @@ class StreamDirection:
         if index > 0:
             del self.marks[:index]
 
-    def _drain_pending(self, timestamp: float) -> None:
-        while self.next_seq in self.pending:
-            chunk = self.pending.pop(self.next_seq)
-            self.marks.append((self.end_offset, timestamp))
-            self.data.extend(chunk)
-            self.next_seq = (self.next_seq + len(chunk)) % _SEQ_MOD
+    def _drain_pending(self) -> None:
+        """Move buffered chunks reached by ``next_seq`` into ``data``.
+
+        Besides exact-offset matches, chunks *straddling* ``next_seq``
+        (their tail extends past it) are trimmed and drained, and chunks
+        entirely behind it (fully retransmitted data) are discarded —
+        without this, an overlapping out-of-order chunk would lose its
+        fresh tail bytes and leak in ``pending`` forever.  Drained bytes
+        are marked with the chunk's original arrival timestamp.
+        """
+        progressed = True
+        while progressed and self.pending:
+            progressed = False
+            entry = self.pending.pop(self.next_seq, None)
+            if entry is not None:
+                chunk, arrival = entry
+                self.marks.append((self.end_offset, arrival))
+                self.data.extend(chunk)
+                self.next_seq = (self.next_seq + len(chunk)) % _SEQ_MOD
+                progressed = True
+                continue
+            for seq in list(self.pending):
+                behind = (self.next_seq - seq) % _SEQ_MOD
+                if behind >= _SEQ_MOD // 2:
+                    continue  # chunk is ahead: still waiting on a hole
+                chunk, arrival = self.pending.pop(seq)
+                if behind >= len(chunk):
+                    continue  # entirely retransmitted data: discard
+                fresh = chunk[behind:]
+                self.marks.append((self.end_offset, arrival))
+                self.data.extend(fresh)
+                self.next_seq = (self.next_seq + len(fresh)) % _SEQ_MOD
+                progressed = True
+                break
 
     def feed(self, seq: int, payload: bytes, timestamp: float) -> None:
         """Insert one segment's payload at sequence ``seq``."""
         if self.first_ts is None:
             self.first_ts = timestamp
         self.last_ts = timestamp
-        if not payload:
+        if not payload or self.broken:
             return
         if self.next_seq is None:
             # No SYN observed: adopt the first payload's seq as origin.
@@ -150,16 +194,18 @@ class StreamDirection:
             self.marks.append((self.end_offset, timestamp))
             self.data.extend(payload)
             self.next_seq = (self.next_seq + len(payload)) % _SEQ_MOD
-            self._drain_pending(timestamp)
+            self._drain_pending()
         else:
-            buffered = sum(len(chunk) for chunk in self.pending.values())
-            if buffered + len(payload) > _MAX_BUFFERED:
+            buffered = sum(
+                len(chunk) for chunk, _ in self.pending.values()
+            )
+            if buffered + len(payload) > self.max_buffered:
                 raise TcpReassemblyError(
                     f"out-of-order buffer overflow on {self.src}->{self.dst}"
                 )
             existing = self.pending.get(seq)
-            if existing is None or len(existing) < len(payload):
-                self.pending[seq] = payload
+            if existing is None or len(existing[0]) < len(payload):
+                self.pending[seq] = (payload, timestamp)
 
     @property
     def has_gap(self) -> bool:
@@ -176,11 +222,17 @@ class TcpStream:
     directions: dict[tuple[str, int], StreamDirection] = field(default_factory=dict)
     closed: bool = False
 
-    def direction(self, src: tuple[str, int], dst: tuple[str, int]) -> StreamDirection:
+    def direction(
+        self,
+        src: tuple[str, int],
+        dst: tuple[str, int],
+        max_buffered: int = DEFAULT_MAX_BUFFERED,
+    ) -> StreamDirection:
         """Get or create the reassembly state for ``src -> dst``."""
         state = self.directions.get(src)
         if state is None:
-            state = StreamDirection(src=src, dst=dst)
+            state = StreamDirection(src=src, dst=dst,
+                                    max_buffered=max_buffered)
             self.directions[src] = state
         return state
 
@@ -242,12 +294,15 @@ class TcpReassembler:
             ...
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_buffered: int = DEFAULT_MAX_BUFFERED) -> None:
         self._streams: dict[FlowKey, TcpStream] = {}
+        #: Per-direction out-of-order buffer cap (overload policy knob).
+        self.max_buffered = max_buffered
         metrics = get_registry()
         self._c_streams = metrics.counter("reassembly.streams_opened")
         self._c_segments = metrics.counter("reassembly.segments")
         self._c_payload = metrics.counter("reassembly.payload_bytes")
+        self._c_overflows = metrics.counter("reassembly.overflows")
 
     def feed(
         self,
@@ -268,7 +323,7 @@ class TcpReassembler:
             self._c_streams.inc()
         src = (src_ip, segment.src_port)
         dst = (dst_ip, segment.dst_port)
-        state = stream.direction(src, dst)
+        state = stream.direction(src, dst, max_buffered=self.max_buffered)
         if segment.syn and not segment.is_ack:
             stream.client = src
             state.next_seq = (segment.seq + 1) % _SEQ_MOD
@@ -286,7 +341,16 @@ class TcpReassembler:
                     stream.client = src
                 else:
                     stream.client = dst
-            state.feed(segment.seq, segment.payload, timestamp)
+            try:
+                state.feed(segment.seq, segment.payload, timestamp)
+            except TcpReassemblyError:
+                # One hostile connection must not kill the whole tap:
+                # abandon reassembly for this direction (its contiguous
+                # prefix stands), free the out-of-order buffer, and make
+                # the degradation observable instead of fatal.
+                state.broken = True
+                state.pending.clear()
+                self._c_overflows.inc()
         if segment.fin:
             state.fin_seen = True
         if segment.rst:
@@ -303,3 +367,6 @@ class TcpReassembler:
 
     def __len__(self) -> int:
         return len(self._streams)
+
+    def __contains__(self, key: FlowKey) -> bool:
+        return key in self._streams

@@ -1,0 +1,104 @@
+"""Hostile-traffic differential: live == batch under adversarial load.
+
+The live/batch equivalence contract (see ``test_live_equivalence``)
+must survive traffic engineered to break it: overlapping retransmission
+storms, orphan responses, malformed frames, connections that overflow
+the reassembly buffer cap, floods.  Both pipelines see the identical
+:mod:`repro.loadgen` stream with the *same* buffer cap, so both degrade
+the same connections — every transaction either side emits must match
+the other byte for byte, with zero uncaught exceptions.
+"""
+
+from repro.detection.live import LiveDecoder, OverloadPolicy
+from repro.loadgen import HOSTILE, LoadGenerator, WorkloadMix
+from repro.net.flows import transactions_from_packets
+from repro.obs import MetricsRegistry, use_registry
+
+#: Cap chosen below loadgen's overflow-episode payload so those
+#: connections genuinely degrade in both pipelines.
+MAX_BUFFERED = 32 * 1024
+OVERFLOW_BYTES = 128 * 1024
+
+
+def _ordered(transactions):
+    return sorted(
+        transactions,
+        key=lambda t: (t.timestamp, t.server, t.request.uri),
+    )
+
+
+def _assert_identical(live, batch):
+    assert len(live) == len(batch)
+    for ours, theirs in zip(_ordered(live), _ordered(batch)):
+        assert ours.request == theirs.request
+        assert ours.response == theirs.response
+
+
+def _live_decode(packets, book):
+    # max_connections stays at its (high) default: connection shedding
+    # is live-only policy and would legitimately diverge from batch.
+    decoder = LiveDecoder(book=book, policy=OverloadPolicy(
+        max_buffered_per_direction=MAX_BUFFERED,
+    ))
+    transactions = []
+    for packet in packets:
+        transactions.extend(decoder.feed(packet))
+    transactions.extend(decoder.flush())
+    return transactions
+
+
+def _differential(mix, seed, count):
+    generator = LoadGenerator(seed=seed, mix=mix, concurrency=6,
+                              overflow_bytes=OVERFLOW_BYTES)
+    packets = generator.capture(count)
+
+    live_registry = MetricsRegistry()
+    with use_registry(live_registry):
+        live = _live_decode(packets, generator.book)
+    batch_registry = MetricsRegistry()
+    with use_registry(batch_registry):
+        batch = transactions_from_packets(
+            packets, book=generator.book, max_buffered=MAX_BUFFERED
+        )
+    _assert_identical(live, batch)
+    return (live, live_registry.snapshot()["counters"],
+            batch_registry.snapshot()["counters"])
+
+
+class TestHostileDifferential:
+    def test_hostile_mix_live_equals_batch(self):
+        """Pure hostile stream: overlaps, orphans, overflow, garbage."""
+        live, live_counters, batch_counters = _differential(
+            HOSTILE, seed=17, count=5000
+        )
+        # The hostile patterns actually occurred — in BOTH pipelines —
+        # and neither pipeline raised.
+        for counters in (live_counters, batch_counters):
+            assert counters["reassembly.overflows"] > 0
+            assert counters["http.orphan_responses"] > 0
+            assert counters["decode.errors"] > 0
+        assert (live_counters["reassembly.overflows"]
+                == batch_counters["reassembly.overflows"])
+        assert (live_counters["http.orphan_responses"]
+                == batch_counters["http.orphan_responses"])
+
+    def test_mixed_stream_live_equals_batch(self):
+        """Hostile noise interleaved with benign/exploit-kit traffic:
+        degraded connections must not perturb healthy ones."""
+        mix = WorkloadMix(benign=0.35, exploit_kit=0.1, http_flood=0.1,
+                          slow_drip=0.05, giant_pipelined=0.1,
+                          retrans_storm=0.1, malformed_burst=0.1,
+                          orphan_response=0.05, overflow=0.15)
+        live, live_counters, _ = _differential(mix, seed=23, count=5000)
+        assert len(live) > 0  # healthy traffic still decodes
+        assert live_counters["reassembly.overflows"] > 0
+
+    def test_storm_heavy_stream_byte_identical(self):
+        """Overlap-heavy: most traffic is retransmission storms."""
+        mix = WorkloadMix(benign=0.1, exploit_kit=0.0, http_flood=0.0,
+                          slow_drip=0.0, giant_pipelined=0.1,
+                          retrans_storm=0.8, malformed_burst=0.0,
+                          orphan_response=0.0, overflow=0.0)
+        live, live_counters, _ = _differential(mix, seed=29, count=4000)
+        assert len(live) > 0
+        assert live_counters["decode.errors"] == 0

@@ -140,3 +140,51 @@ class TestSyntheticEpisodeRoundTrip:
         packets, _ = packets_from_trace(trace)
         stamps = [p.timestamp for p in packets]
         assert stamps == sorted(stamps)
+
+
+class TestOrphanResponseDraining:
+    """Regression: every orphan in a batch is drained and counted —
+    the pairer used to stop at the first one, silently discarding the
+    rest and undercounting ``http.orphan_responses``."""
+
+    @staticmethod
+    def _orphan_capture(responses: int, with_request: bool = False):
+        from repro.loadgen import RawConnection
+
+        conn = RawConnection("172.31.0.1", 50000, "198.51.100.1")
+        packets = conn.open(1.0)
+        ts = 1.1
+        if with_request:
+            packets.extend(conn.send(
+                ts, True, b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"
+            ))
+            ts += 0.1
+        body = b"unsolicited"
+        wire = (b"HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n%s"
+                % (len(body), body))
+        for _ in range(responses):
+            packets.extend(conn.send(ts, False, wire))
+            ts += 0.1
+        packets.extend(conn.close(ts))
+        return packets
+
+    def _decode_counting(self, packets):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            recovered = transactions_from_packets(packets)
+        return recovered, registry.snapshot()["counters"]
+
+    def test_every_orphan_counted(self):
+        packets = self._orphan_capture(responses=3)
+        recovered, counters = self._decode_counting(packets)
+        assert recovered == []
+        assert counters["http.orphan_responses"] == 3
+
+    def test_orphans_after_paired_response(self):
+        packets = self._orphan_capture(responses=3, with_request=True)
+        recovered, counters = self._decode_counting(packets)
+        assert len(recovered) == 1  # the request pairs with response #1
+        assert recovered[0].status == 200
+        assert counters["http.orphan_responses"] == 2

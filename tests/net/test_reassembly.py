@@ -227,6 +227,132 @@ class TestConsumableView:
         assert direction.base == 0
 
 
+class TestOverlapDrain:
+    """Regression: overlapping pending chunks must drain, not leak."""
+
+    def test_overlapping_pending_chunks_drain(self):
+        # pending at 100 (len 50) and 120 (len 50): once the hole fills,
+        # the second chunk starts *behind* next_seq (150) but extends to
+        # 170 — its fresh tail must be trimmed in, not lost, and nothing
+        # may leak in `pending` forever.
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 0
+        payload = bytes(range(200)) * 1  # 200 distinct-ish bytes
+        direction.feed(100, payload[100:150], 2.0)
+        direction.feed(120, payload[120:170], 3.0)
+        direction.feed(0, payload[:100], 4.0)
+        assert bytes(direction.data) == payload[:170]
+        assert direction.pending == {}
+
+    def test_drained_bytes_keep_arrival_timestamps(self):
+        # Out-of-order bytes must be marked with their *true* arrival
+        # time, not the time of the packet that filled the hole.
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 0
+        direction.feed(4, b"bbbb", 2.0)
+        direction.feed(0, b"aaaa", 9.0)
+        assert bytes(direction.data) == b"aaaabbbb"
+        assert direction.timestamp_at(0) == 9.0
+        assert direction.timestamp_at(4) == 2.0
+
+    def test_fully_stale_pending_chunk_discarded(self):
+        # A pending chunk entirely covered by in-order data is dropped.
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 0
+        direction.feed(10, b"XY", 2.0)
+        direction.feed(0, b"0123456789AB", 3.0)  # covers [0, 12) > [10, 12)
+        assert bytes(direction.data) == b"0123456789AB"
+        assert direction.pending == {}
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        chunks=st.lists(st.binary(min_size=1, max_size=64), min_size=2,
+                        max_size=10),
+        seed=st.integers(0, 10**6),
+    )
+    def test_overlapping_shuffled_slices_reassemble(self, chunks, seed):
+        """Property: arbitrary overlapping re-slices still reassemble."""
+        message = b"".join(chunks)
+        rng = np.random.default_rng(seed)
+        slices = []
+        position = 0
+        for chunk in chunks:
+            lo = max(0, position - int(rng.integers(0, 8)))
+            hi = min(len(message),
+                     position + len(chunk) + int(rng.integers(0, 8)))
+            slices.append((lo, message[lo:hi]))
+            position += len(chunk)
+        for index in rng.permutation(len(slices)):
+            lo, data = slices[int(index)]
+            slices.append((lo, data))
+        direction = StreamDirection(src=("a", 1), dst=("b", 2))
+        direction.next_seq = 0
+        for index in rng.permutation(len(slices)):
+            lo, data = slices[int(index)]
+            if data:
+                direction.feed(lo, data, 1.0)
+        assert bytes(direction.data) == message
+
+
+class TestOverflowDegrade:
+    """Regression: a hostile connection degrades itself, not the tap."""
+
+    def _overflow_stream(self, reassembler, client, server):
+        reassembler.feed(1.0, client, server, _segment(seq=99, flags=SYN))
+        for index in range(40):
+            reassembler.feed(
+                2.0 + index, client, server,
+                _segment(seq=10_000_000 + index * 2_000_000,
+                         payload=b"\x00" * 1_500_000),
+            )
+
+    def test_reassembler_degrades_instead_of_raising(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            reassembler = TcpReassembler()
+            # Overflowing one connection must not raise out of feed().
+            self._overflow_stream(reassembler, "10.0.0.1", "10.0.0.2")
+        counters = registry.snapshot()["counters"]
+        assert counters["reassembly.overflows"] == 1
+        stream = reassembler.streams()[0]
+        direction = stream.direction(stream.client, stream.server)
+        assert direction.broken
+        assert direction.pending == {}  # buffered bytes released
+
+    def test_broken_direction_stops_buffering(self):
+        reassembler = TcpReassembler()
+        self._overflow_stream(reassembler, "10.0.0.1", "10.0.0.2")
+        stream = reassembler.streams()[0]
+        direction = stream.direction(stream.client, stream.server)
+        before = len(direction.data)
+        # Further traffic on the broken direction is ignored quietly.
+        reassembler.feed(99.0, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=100, payload=b"ignored"))
+        assert len(direction.data) == before
+        assert direction.pending == {}
+
+    def test_other_connections_unaffected(self):
+        reassembler = TcpReassembler()
+        self._overflow_stream(reassembler, "10.0.0.1", "10.0.0.2")
+        reassembler.feed(50.0, "10.0.0.3", "10.0.0.2",
+                         _segment(src_port=40001, seq=7,
+                                  payload=b"GET / HTTP/1.1\r\n"))
+        healthy = [s for s in reassembler.streams()
+                   if s.client and s.client[0] == "10.0.0.3"]
+        assert healthy[0].client_data.startswith(b"GET")
+
+    def test_configurable_buffer_cap(self):
+        reassembler = TcpReassembler(max_buffered=1024)
+        reassembler.feed(1.0, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=99, flags=SYN))
+        reassembler.feed(2.0, "10.0.0.1", "10.0.0.2",
+                         _segment(seq=10_000, payload=b"\x00" * 2048))
+        stream = reassembler.streams()[0]
+        assert stream.direction(stream.client, stream.server).broken
+
+
 class TestReassemblyProperty:
     @settings(max_examples=40, deadline=None)
     @given(
