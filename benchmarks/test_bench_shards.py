@@ -1,0 +1,102 @@
+"""Sharded-service scaling: pkt/s vs worker count, with parity proof.
+
+ROADMAP item 1's measurement: replay one pre-captured MIXED workload
+through the single-process :class:`~repro.detection.live.LiveDetector`
+(the reference) and through the sharded daemon at 1, 2, and 4 workers,
+recording packets/sec for each and asserting the merged fleet alert
+stream is byte-identical to the reference every time — the scaling
+numbers are only meaningful if the answers never change.
+
+Results land in ``benchmarks/out/BENCH_shards.json`` (uploaded by CI
+alongside ``BENCH_sustained.json``).  No speedup floor is asserted:
+worker processes pay pickling and queue costs that only amortize at
+line-rate packet volumes, and CI smoke scale is far below that — the
+artifact records the trajectory, the tests enforce correctness.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.detection.detector import OnTheWireDetector
+from repro.detection.live import LiveDetector
+from repro.experiments.context import trained_classifier
+from repro.loadgen import MIXED, LoadGenerator
+from repro.service import EngineSpec, ShardedDetectionService, merge_alerts
+from repro.service.worker import ShardAlert
+
+#: Packets per pass (full scale: 60k mixed).  The floor is set where
+#: the MIXED stream has completed enough exploit-kit episodes for the
+#: reference run to alert — parity over an empty alert set is vacuous.
+TOTAL_PACKETS = max(6_000, int(60_000 * BENCH_SCALE))
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _canonical(alerts):
+    """Single-process emission order -> fleet-canonical merge order."""
+    return merge_alerts(
+        ShardAlert(0, i, alert) for i, alert in enumerate(alerts)
+    )
+
+
+def test_bench_shard_scaling(artifact_dir):
+    classifier = trained_classifier(BENCH_SEED, BENCH_SCALE)
+    generator = LoadGenerator(seed=BENCH_SEED, mix=MIXED, concurrency=8)
+    # Pre-capture so every run replays identical packets against the
+    # identical (fully populated) address book.
+    packets = generator.capture(TOTAL_PACKETS)
+    book = generator.book
+
+    started = time.perf_counter()
+    reference = LiveDetector(OnTheWireDetector(classifier), book=book)
+    for packet in packets:
+        reference.feed(packet)
+    reference.finish()
+    single_seconds = time.perf_counter() - started
+    ref_alerts = _canonical(reference.detector.alerts)
+    single_pps = len(packets) / max(single_seconds, 1e-9)
+    print(f"\nsingle-process: {single_pps:,.0f} pkt/s "
+          f"({len(ref_alerts)} alerts, "
+          f"{reference.transactions_emitted} transactions)")
+
+    rows = []
+    for workers in WORKER_COUNTS:
+        spec = EngineSpec(classifier=classifier, book=book)
+        service = ShardedDetectionService(spec, workers=workers)
+        started = time.perf_counter()
+        with service:
+            for packet in packets:
+                service.feed(packet)
+            fleet = service.drain()
+        seconds = time.perf_counter() - started
+        pps = len(packets) / max(seconds, 1e-9)
+        identical = fleet.alerts == ref_alerts
+        rows.append({
+            "workers": workers,
+            "pps": pps,
+            "seconds": seconds,
+            "alerts": len(fleet.alerts),
+            "alerts_identical": identical,
+            "speedup_vs_single": pps / max(single_pps, 1e-9),
+        })
+        print(f"workers={workers}: {pps:,.0f} pkt/s "
+              f"(x{pps / max(single_pps, 1e-9):.2f} vs single, "
+              f"identical={identical})")
+        # Parity is the hard contract; fail fast with the worker count.
+        assert identical, f"alert stream diverged at workers={workers}"
+        assert fleet.packets_routed == len(packets)
+
+    path = artifact_dir / "BENCH_shards.json"
+    path.write_text(json.dumps({
+        "schema": "bench.shards.v1",
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "packets": len(packets),
+        "transactions": reference.transactions_emitted,
+        "alerts": len(ref_alerts),
+        "single_process_pps": single_pps,
+        "workers": rows,
+    }, indent=2) + "\n")
+    print(f"[saved shard scaling to {path}]")
+
+    assert len(ref_alerts) > 0, "vacuous parity: workload never alerted"

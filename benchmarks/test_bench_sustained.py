@@ -142,9 +142,17 @@ def test_bench_hostile_soak(artifact_dir):
         seed=BENCH_SEED, mix=HOSTILE, concurrency=10,
         overflow_bytes=128 * 1024,
     )
+    # The connection cap counts *live* connections (closed ones are
+    # evicted after their linger), so forcing the shed pathway to fire
+    # needs a cap below the workload's genuine live concurrency — not
+    # the historical total-connection count the old leaky semantics
+    # tripped on.  The linger is tight for the same reason: the smoke-
+    # scale stream spans only seconds of stream time, and the eviction
+    # pathway must demonstrably churn within it.
     policy = OverloadPolicy(
-        max_connections=64,
+        max_connections=8,
         max_buffered_per_direction=32 * 1024,
+        closed_linger=2.0,
     )
 
     tracemalloc.start()
@@ -177,6 +185,7 @@ def test_bench_hostile_soak(artifact_dir):
             "max_connections": policy.max_connections,
             "max_buffered_per_direction":
                 policy.max_buffered_per_direction,
+            "closed_linger": policy.closed_linger,
         },
         "counters": {k: v for k, v in sorted(counters.items())},
     })
@@ -188,6 +197,8 @@ def test_bench_hostile_soak(artifact_dir):
     assert counters["decode.dropped"] > 0, "connection-cap shed never fired"
     assert counters["http.orphan_responses"] > 0, "orphans not counted"
     assert counters["decode.errors"] > 0, "malformed frames not counted"
+    assert counters["decode.evicted_connections"] > 0, \
+        "connection lifecycle never reclaimed state"
     # Bounded memory: hostile load may not accumulate state without
     # limit.  The budget covers capped live state at full scale.
     assert peak_bytes < 256 * 2**20

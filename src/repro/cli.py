@@ -215,11 +215,12 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     except (OSError, PcapError) as exc:
         log.error("cannot read capture %s: %s", args.pcap, exc)
         return 2
-    detector = OnTheWireDetector(
-        model,
-        policy=CluePolicy(redirect_threshold=args.redirect_threshold),
-        config=DetectorConfig(alert_threshold=args.threshold),
-    )
+    policy = CluePolicy(redirect_threshold=args.redirect_threshold)
+    config = DetectorConfig(alert_threshold=args.threshold)
+    if args.workers is not None:
+        return _detect_sharded(args, log, model, linktype, packets,
+                               policy, config)
+    detector = OnTheWireDetector(model, policy=policy, config=config)
     live = LiveDetector(detector, linktype=linktype, reporter=reporter)
     for packet in packets:
         live.feed(packet)
@@ -231,6 +232,11 @@ def _cmd_detect(args: argparse.Namespace) -> int:
           f"{detector.classifications} classifications over "
           f"{detector.watch_count()} session watches "
           f"({detector.transactions_weeded} transactions weeded as trusted)")
+    _print_alerts(alerts)
+    return 0 if not alerts else 1
+
+
+def _print_alerts(alerts) -> None:
     for alert in alerts:
         print(
             f"  ALERT client={alert.client} server={alert.clue.server} "
@@ -238,6 +244,49 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             f"score={alert.score:.2f} "
             f"wcg={alert.wcg_order}n/{alert.wcg_size}e"
         )
+
+
+def _detect_sharded(args, log, model, linktype, packets, policy,
+                    config) -> int:
+    """``detect --workers N``: replay through the sharded daemon.
+
+    The merge contract (DESIGN.md §13) makes this path emit exactly the
+    alert stream the single-process path above would — the worker count
+    only changes how the work is spread, never what comes out.
+    """
+    import json
+
+    from repro.obs import metrics_enabled
+    from repro.service import EngineSpec, ShardedDetectionService
+
+    spec = EngineSpec(
+        classifier=model,
+        clue_policy=policy,
+        detector_config=config,
+        linktype=linktype,
+        metrics=metrics_enabled(),
+    )
+    service = ShardedDetectionService(spec, workers=args.workers)
+    log.info("sharded detection: %d worker process(es)", service.n_workers)
+    with service:
+        for packet in packets:
+            service.feed(packet)
+        fleet = service.drain()
+    log.info("routed %d packets -> %d HTTP transactions across %d shards",
+             fleet.packets_routed, fleet.transactions, len(fleet.shards))
+    if metrics_enabled():
+        line = json.dumps({"fleet": fleet.snapshot}, sort_keys=True)
+        if args.stats_out:
+            with open(args.stats_out, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        else:
+            print(line, file=sys.stderr)
+    alerts = fleet.alerts
+    print(f"{len(alerts)} alert(s); "
+          f"{fleet.classifications} classifications over "
+          f"{fleet.watches_opened} session watches "
+          f"({fleet.transactions_weeded} transactions weeded as trusted)")
+    _print_alerts(alerts)
     return 0 if not alerts else 1
 
 
@@ -318,6 +367,13 @@ def main(argv: list[str] | None = None) -> int:
     detect_parser.add_argument("--model", default="dynaminer-model.json")
     detect_parser.add_argument("--threshold", type=float, default=0.7)
     detect_parser.add_argument("--redirect-threshold", type=int, default=3)
+    detect_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="shard live detection across N worker processes (-1 = all"
+             " cores; default: single process). Packets are hashed to"
+             " shards by client, and the merged alert stream is"
+             " byte-identical to the single-process run at any N.",
+    )
     _add_observability_flags(detect_parser)
 
     synth_parser = subparsers.add_parser(

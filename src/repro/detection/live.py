@@ -11,10 +11,14 @@ this module provides that incremental path:
     both sides have been reassembled (unanswered requests flush when
     their connection closes or at :meth:`LiveDecoder.flush`).
 
+``DetectionEngine``
+    the pure per-shard engine: a :class:`LiveDecoder` glued to an
+    :class:`~repro.detection.detector.OnTheWireDetector`, no I/O — the
+    unit :mod:`repro.service` runs one of per worker process.
+
 ``LiveDetector``
-    glues a :class:`LiveDecoder` to an
-    :class:`~repro.detection.detector.OnTheWireDetector`: feed packets,
-    collect alerts.
+    the thin single-process front over one :class:`DetectionEngine`,
+    adding optional telemetry reporting.
 
 Decoding is incremental end to end: every connection owns a
 :class:`~repro.net.flows.StreamPairer` whose resumable HTTP parsers
@@ -26,6 +30,15 @@ cost is O(bytes in the packet) and a whole capture costs O(total bytes)
 — even for one giant connection, where the previous implementation
 re-parsed the entire reassembled buffer on every delivery and blew up
 quadratically.
+
+Connection state is bounded the same way: a closed, fully drained
+connection lingers for ``OverloadPolicy.closed_linger`` stream-seconds
+(a TIME_WAIT analogue that absorbs trailing ACKs and late
+retransmissions) and is then evicted — reassembler entry, pairer, and
+non-HTTP marker together.  The ``max_connections`` overload cap counts
+*live* connections only, so a long-running tap keeps accepting new
+flows forever instead of strangling once cap-many connections have
+*ever* been seen.
 """
 
 from __future__ import annotations
@@ -46,7 +59,8 @@ from repro.net.reassembly import (
 )
 from repro.obs import PipelineStatsReporter, get_registry
 
-__all__ = ["OverloadPolicy", "LiveDecoder", "LiveDetector"]
+__all__ = ["OverloadPolicy", "LiveDecoder", "DetectionEngine",
+           "LiveDetector"]
 
 
 @dataclass(frozen=True)
@@ -57,7 +71,8 @@ class OverloadPolicy:
     shed *something*; this policy makes the shedding deliberate and
     observable rather than an exception or an unbounded buffer:
 
-    * ``max_connections`` — cap on concurrently tracked connections.
+    * ``max_connections`` — cap on concurrently tracked *live*
+      connections (closed connections awaiting eviction do not count).
       Segments that would *open* a connection past the cap are dropped
       and counted (``decode.dropped``); established connections keep
       flowing, so a SYN/connection flood degrades new-flow visibility
@@ -66,10 +81,17 @@ class OverloadPolicy:
       per stream direction.  A direction exceeding it stops being
       reassembled (its decoded prefix stands) and is counted
       (``reassembly.overflows``); the rest of the tap is unaffected.
+    * ``closed_linger`` — stream-seconds a closed, fully drained
+      connection is retained before its state is evicted.  The linger
+      absorbs post-close chatter (trailing ACKs, late retransmissions)
+      exactly like TCP's TIME_WAIT; a fresh SYN reusing the 4-tuple
+      inside the window evicts immediately and starts a new
+      conversation.
     """
 
     max_connections: int = 100_000
     max_buffered_per_direction: int = DEFAULT_MAX_BUFFERED
+    closed_linger: float = 60.0
 
 
 class LiveDecoder:
@@ -88,12 +110,24 @@ class LiveDecoder:
         self._pairers: dict[FlowKey, StreamPairer] = {}
         #: Connections whose payload is not HTTP (skip quietly).
         self._not_http: set[FlowKey] = set()
+        #: Closed-and-drained connections awaiting eviction, keyed to
+        #: the stream time of their last activity.  Insertion order is
+        #: last-activity order (entries are re-appended on post-close
+        #: chatter), so the linger sweep pops from the front.
+        self._closed: dict[FlowKey, float] = {}
         self._metrics = get_registry()
         self._c_packets = self._metrics.counter("decode.packets")
         self._c_bytes = self._metrics.counter("decode.bytes")
         self._c_errors = self._metrics.counter("decode.errors")
         self._c_dropped = self._metrics.counter("decode.dropped")
         self._c_not_http = self._metrics.counter("decode.non_http_streams")
+        self._c_evicted = self._metrics.counter("decode.evicted_connections")
+        self._g_live = self._metrics.gauge("decode.live_connections")
+
+    @property
+    def live_connections(self) -> int:
+        """Connections currently tracked and not yet closed."""
+        return len(self._reassembler) - len(self._closed)
 
     def feed(self, packet: PcapPacket) -> list[HttpTransaction]:
         """Ingest one pcap record; returns newly completed transactions.
@@ -113,9 +147,16 @@ class LiveDecoder:
                 ):
                     key = FlowKey.of(src, segment.src_port,
                                      dst, segment.dst_port)
+                    self._sweep_closed(ts)
+                    if key in self._closed and segment.syn \
+                            and not segment.is_ack:
+                        # TIME_WAIT-style tuple reuse: a fresh SYN means
+                        # a new conversation — release the finished
+                        # one's state now rather than at linger expiry.
+                        self._evict(key)
                     if (
                         key not in self._reassembler
-                        and len(self._reassembler)
+                        and self.live_connections
                         >= self.policy.max_connections
                     ):
                         # Overload shed (OverloadPolicy): refuse to open
@@ -124,6 +165,12 @@ class LiveDecoder:
                         continue
                     stream = self._reassembler.feed(ts, src, dst, segment)
                     emitted.extend(self._drain(stream, final=stream.closed))
+                    if stream.closed:
+                        # Mark (or refresh) the linger slot; re-append
+                        # keeps the dict ordered by last activity.
+                        self._closed.pop(key, None)
+                        self._closed[key] = ts
+                    self._g_live.set(self.live_connections)
             except PcapError:
                 self._c_errors.inc()
         return emitted
@@ -134,6 +181,23 @@ class LiveDecoder:
         for stream in self._reassembler.streams():
             emitted.extend(self._drain(stream, final=True))
         return emitted
+
+    def _sweep_closed(self, now: float) -> None:
+        """Evict closed connections whose linger window has elapsed."""
+        linger = self.policy.closed_linger
+        while self._closed:
+            key, marked = next(iter(self._closed.items()))
+            if now - marked < linger:
+                break
+            self._evict(key)
+
+    def _evict(self, key: FlowKey) -> None:
+        """Drop every bit of per-connection state for ``key``."""
+        self._closed.pop(key, None)
+        self._reassembler.evict(key)
+        self._pairers.pop(key, None)
+        self._not_http.discard(key)
+        self._c_evicted.inc()
 
     def _drain(self, stream: TcpStream, final: bool) -> list[HttpTransaction]:
         key = stream.key
@@ -152,25 +216,25 @@ class LiveDecoder:
             return []
 
 
-class LiveDetector:
-    """Packet-in, alert-out wrapper around the on-the-wire detector.
+class DetectionEngine:
+    """Pure per-shard detection engine: packets in, alerts out, no I/O.
 
-    ``reporter`` optionally attaches a
-    :class:`~repro.obs.PipelineStatsReporter`: interval snapshots tick
-    from the packet loop (:meth:`feed`) and a final one is emitted by
-    :meth:`finish`, so a deployed tap streams its own telemetry without
-    any extra wiring.
+    Owns exactly the state one shard needs — the decoder (reassembler +
+    pairing state), the detector (session table, WCGs, classifier) —
+    and nothing else: no reporter, no files, no queues.  ``feed`` /
+    ``finish`` is the whole contract, which is what lets
+    :mod:`repro.service` run one engine per worker process and merge
+    their outputs deterministically, and what keeps the single-process
+    :class:`LiveDetector` byte-identical to a one-shard fleet.
     """
 
     def __init__(self, detector: OnTheWireDetector,
                  linktype: int = LINKTYPE_ETHERNET,
                  book: AddressBook | None = None,
-                 reporter: PipelineStatsReporter | None = None,
                  policy: OverloadPolicy | None = None):
         self.detector = detector
         self.decoder = LiveDecoder(linktype=linktype, book=book,
                                    policy=policy)
-        self.reporter = reporter
         self.transactions_emitted = 0
         self._metrics = get_registry()
 
@@ -185,10 +249,7 @@ class LiveDetector:
         transactions = self.decoder.feed(packet)
         self.transactions_emitted += len(transactions)
         with self._metrics.span("detector.process_batch"):
-            alerts = self.detector.process_batch(transactions)
-        if self.reporter is not None:
-            self.reporter.maybe_emit()
-        return alerts
+            return self.detector.process_batch(transactions)
 
     def finish(self) -> list[Alert]:
         """Flush the decoder and finalize the detector's watches."""
@@ -199,6 +260,52 @@ class LiveDetector:
         with self._metrics.span("detector.finalize"):
             self.detector.finalize()
         alerts.extend(self.detector.alerts[before:])
+        return alerts
+
+
+class LiveDetector:
+    """Packet-in, alert-out wrapper around the on-the-wire detector.
+
+    A thin front over one :class:`DetectionEngine`: the engine does the
+    work, this class adds the I/O the engine deliberately lacks —
+    ``reporter`` optionally attaches a
+    :class:`~repro.obs.PipelineStatsReporter` whose interval snapshots
+    tick from the packet loop (:meth:`feed`) with a final one emitted by
+    :meth:`finish`, so a deployed tap streams its own telemetry without
+    any extra wiring.
+    """
+
+    def __init__(self, detector: OnTheWireDetector,
+                 linktype: int = LINKTYPE_ETHERNET,
+                 book: AddressBook | None = None,
+                 reporter: PipelineStatsReporter | None = None,
+                 policy: OverloadPolicy | None = None):
+        self.engine = DetectionEngine(detector, linktype=linktype,
+                                      book=book, policy=policy)
+        self.reporter = reporter
+
+    @property
+    def detector(self) -> OnTheWireDetector:
+        return self.engine.detector
+
+    @property
+    def decoder(self) -> LiveDecoder:
+        return self.engine.decoder
+
+    @property
+    def transactions_emitted(self) -> int:
+        return self.engine.transactions_emitted
+
+    def feed(self, packet: PcapPacket) -> list[Alert]:
+        """Ingest one packet; returns alerts raised by it (if any)."""
+        alerts = self.engine.feed(packet)
+        if self.reporter is not None:
+            self.reporter.maybe_emit()
+        return alerts
+
+    def finish(self) -> list[Alert]:
+        """Flush the decoder and finalize the detector's watches."""
+        alerts = self.engine.finish()
         if self.reporter is not None:
             self.reporter.finalize()
         return alerts

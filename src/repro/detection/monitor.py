@@ -122,6 +122,12 @@ class SessionTable:
         )
         self._watches: dict[str, list[SessionWatch]] = {}
         self._serial = 0
+        #: Per-client watch ordinals.  Watch keys are numbered within
+        #: their client rather than globally so a key depends only on
+        #: that client's own transaction stream — the property that
+        #: lets a client-sharded fleet (repro.service) reproduce the
+        #: single-process alert stream byte for byte.
+        self._client_serial: dict[str, int] = {}
         self._closed = 0
         self._now = float("-inf")
         self._routed = 0
@@ -159,8 +165,10 @@ class SessionTable:
                 break
         if chosen is None:
             self._serial += 1
+            ordinal = self._client_serial.get(txn.client, 0) + 1
+            self._client_serial[txn.client] = ordinal
             chosen = SessionWatch(
-                key=f"{txn.client}#{self._serial}",
+                key=f"{txn.client}#{ordinal}",
                 client=txn.client,
                 policy=self.policy,
             )
@@ -211,6 +219,11 @@ class SessionTable:
                 self._watches[client] = kept
         else:
             del self._watches[client]
+            # The client left entirely; forget its ordinal too so the
+            # table stays bounded by *active* clients.  If the client
+            # returns its keys restart at #1, which is fine — alert
+            # session keys only disambiguate concurrent watches.
+            self._client_serial.pop(client, None)
 
     def _drop_if_prunable(self, watch: SessionWatch) -> bool:
         if not self._prunable(watch):

@@ -296,6 +296,11 @@ class TcpReassembler:
 
     def __init__(self, max_buffered: int = DEFAULT_MAX_BUFFERED) -> None:
         self._streams: dict[FlowKey, TcpStream] = {}
+        #: Finished streams displaced by a 4-tuple reuse (a fresh SYN on
+        #: a closed connection).  Batch consumers still see them via
+        #: :meth:`streams`; the live tap evicts before reuse can happen,
+        #: so this only grows in batch decoding (bounded by the capture).
+        self._retired: list[TcpStream] = []
         #: Per-direction out-of-order buffer cap (overload policy knob).
         self.max_buffered = max_buffered
         metrics = get_registry()
@@ -317,6 +322,15 @@ class TcpReassembler:
             self._c_payload.inc(len(segment.payload))
         key = FlowKey.of(src_ip, segment.src_port, dst_ip, segment.dst_port)
         stream = self._streams.get(key)
+        if stream is not None and stream.closed and segment.syn \
+                and not segment.is_ack:
+            # 4-tuple reuse: a fresh SYN on a finished connection opens a
+            # *new* conversation.  Retire the closed stream (batch
+            # consumers still drain it via streams()) instead of letting
+            # the new handshake desynchronize its state.
+            self._retired.append(stream)
+            del self._streams[key]
+            stream = None
         if stream is None:
             stream = TcpStream(key=key)
             self._streams[key] = stream
@@ -324,13 +338,17 @@ class TcpReassembler:
         src = (src_ip, segment.src_port)
         dst = (dst_ip, segment.dst_port)
         state = stream.direction(src, dst, max_buffered=self.max_buffered)
-        if segment.syn and not segment.is_ack:
-            stream.client = src
-            state.next_seq = (segment.seq + 1) % _SEQ_MOD
-        elif segment.syn and segment.is_ack:
-            state.next_seq = (segment.seq + 1) % _SEQ_MOD
+        if segment.syn:
+            # Adopt the sequence origin only while the direction is
+            # fresh: a retransmitted or forged SYN on an *established*
+            # stream must not reset next_seq (it would desynchronize
+            # reassembly and discard genuine in-flight bytes as
+            # retransmissions), and must not flip the client
+            # designation mid-connection.
+            if state.next_seq is None:
+                state.next_seq = (segment.seq + 1) % _SEQ_MOD
             if stream.client is None:
-                stream.client = dst
+                stream.client = dst if segment.is_ack else src
         else:
             if stream.client is None and segment.payload:
                 # Mid-capture stream: guess the initiator as the side whose
@@ -362,8 +380,19 @@ class TcpReassembler:
         return stream
 
     def streams(self) -> list[TcpStream]:
-        """All streams seen so far, ordered by start time."""
-        return sorted(self._streams.values(), key=lambda s: s.start_time)
+        """All streams seen so far (retired included), by start time."""
+        return sorted(self._retired + list(self._streams.values()),
+                      key=lambda s: s.start_time)
+
+    def evict(self, key: FlowKey) -> TcpStream | None:
+        """Remove (and return) one connection's state entirely.
+
+        The live tap's connection-lifecycle management calls this once a
+        stream is closed, fully drained, and past its linger window —
+        without it, ``_streams`` grows by one dead entry per connection
+        for the life of the process.
+        """
+        return self._streams.pop(key, None)
 
     def __len__(self) -> int:
         return len(self._streams)

@@ -1,0 +1,243 @@
+"""Coordinator for the sharded live detection service.
+
+:class:`ShardedDetectionService` is the long-running daemon shape from
+ROADMAP item 1: packets stream in, a :class:`~repro.service.sharding.
+PacketRouter` hashes each one to its client's shard, N worker processes
+each run a private :class:`~repro.detection.live.DetectionEngine`, and
+the coordinator merges their alert streams and metric snapshots into
+one deterministic fleet view.
+
+**Merge contract.**  Per-shard alert streams are each already in
+emission order; the fleet stream is their merge sorted by
+``(timestamp, shard_id, seq)``.  Timestamp orders across shards the way
+a single tap would; ``(shard_id, seq)`` breaks timestamp ties totally
+and reproducibly, so *any* worker count yields the identical ordered
+alert list — the differential tests assert byte-identity against the
+single-process :class:`~repro.detection.live.LiveDetector` at
+``workers ∈ {1, 2, 4}``.
+
+Registry snapshots merge structurally: counters and gauges sum across
+shards (each counter event happened on exactly one shard); histograms
+sum ``count``/``sum``, combine ``min``/``max``, and take the max of
+each quantile across shards (a conservative fleet-tail estimate —
+exact fleet quantiles would need the raw samples).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.detection.alerts import Alert
+from repro.net.pcap import PcapPacket
+from repro.parallel import resolve_n_jobs
+from repro.service.sharding import PacketRouter
+from repro.service.worker import (
+    EngineSpec,
+    ShardAlert,
+    ShardResult,
+    shard_worker,
+)
+
+__all__ = ["FleetResult", "ShardedDetectionService", "merge_alerts",
+           "merge_snapshots"]
+
+#: Packets buffered per shard before a batch crosses the queue; large
+#: enough to amortize pickling, small enough to keep workers busy.
+_BATCH_SIZE = 256
+
+#: Seconds the coordinator waits for each worker's final result.  The
+#: workloads here are bounded captures, so a silent worker means a bug
+#: (a crash is ferried back as ``ShardResult.error``), not slowness.
+_DRAIN_TIMEOUT = 600.0
+
+
+class ShardError(RuntimeError):
+    """A worker process died; carries its traceback."""
+
+
+@dataclass
+class FleetResult:
+    """The merged outcome of one sharded run."""
+
+    alerts: list[Alert]
+    shards: list[ShardResult]
+    snapshot: dict[str, Any]
+    packets_routed: int
+
+    @property
+    def transactions(self) -> int:
+        return sum(s.transactions for s in self.shards)
+
+    @property
+    def classifications(self) -> int:
+        return sum(s.classifications for s in self.shards)
+
+    @property
+    def transactions_weeded(self) -> int:
+        return sum(s.transactions_weeded for s in self.shards)
+
+    @property
+    def watches_opened(self) -> int:
+        return sum(s.watches_opened for s in self.shards)
+
+
+def merge_alerts(shard_alerts: Iterable[ShardAlert]) -> list[Alert]:
+    """Deterministic fleet order: ``(timestamp, shard_id, seq)``."""
+    ordered = sorted(
+        shard_alerts,
+        key=lambda sa: (sa.alert.timestamp, sa.shard_id, sa.seq),
+    )
+    return [sa.alert for sa in ordered]
+
+
+def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+    """Combine per-shard registry snapshots into one fleet snapshot."""
+    enabled = [s for s in snapshots if s.get("enabled")]
+    merged: dict[str, Any] = {
+        "enabled": bool(enabled),
+        "shards": len(snapshots),
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    for snap in enabled:
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            merged["gauges"][name] = merged["gauges"].get(name, 0) + value
+        for name, hist in snap.get("histograms", {}).items():
+            into = merged["histograms"].get(name)
+            if into is None:
+                merged["histograms"][name] = dict(hist)
+                continue
+            into["count"] += hist["count"]
+            into["sum"] += hist["sum"]
+            # Empty per-shard histograms report None for the order
+            # statistics; they must not poison shards that observed data.
+            for stat, pick in (("min", min), ("max", max),
+                               ("p50", max), ("p90", max), ("p99", max)):
+                if stat not in into and stat not in hist:
+                    continue
+                seen = [v for v in (into.get(stat), hist.get(stat))
+                        if v is not None]
+                into[stat] = pick(seen) if seen else None
+    for hist in merged["histograms"].values():
+        if hist.get("count"):
+            hist["mean"] = hist["sum"] / hist["count"]
+    # Deterministic key order regardless of shard arrival order.
+    for section in ("counters", "gauges", "histograms"):
+        merged[section] = dict(sorted(merged[section].items()))
+    return merged
+
+
+class ShardedDetectionService:
+    """Long-running sharded detection daemon.
+
+    Usage::
+
+        service = ShardedDetectionService(spec, workers=4)
+        with service:
+            for packet in tap:
+                service.feed(packet)
+            fleet = service.drain()
+
+    ``workers`` follows the :func:`repro.parallel.resolve_n_jobs`
+    convention (``None`` -> 1, ``-1`` -> all cores).  Each worker gets
+    its own inbox queue — per-shard FIFO is what preserves wire order
+    within a shard, and wire order within a shard is all the engine
+    needs (packets of different clients never interact).
+    """
+
+    def __init__(self, spec: EngineSpec, workers: int | None = None,
+                 batch_size: int = _BATCH_SIZE):
+        self.spec = spec
+        self.n_workers = resolve_n_jobs(workers)
+        self.batch_size = batch_size
+        self.router = PacketRouter(self.n_workers, linktype=spec.linktype)
+        self.packets_routed = 0
+        self._ctx = mp.get_context()
+        self._processes: list[mp.process.BaseProcess] = []
+        self._inboxes: list[Any] = []
+        self._outbox: Any = None
+        self._pending: list[list[PcapPacket]] = []
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._processes:
+            raise RuntimeError("service already started")
+        self._outbox = self._ctx.Queue()
+        self._pending = [[] for _ in range(self.n_workers)]
+        for shard_id in range(self.n_workers):
+            inbox = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=shard_worker,
+                args=(self.spec, shard_id, inbox, self._outbox),
+                daemon=True,
+                name=f"repro-shard-{shard_id}",
+            )
+            process.start()
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+
+    def __enter__(self) -> "ShardedDetectionService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def feed(self, packet: PcapPacket) -> None:
+        """Route one pcap record to its shard's inbox."""
+        for shard_id, routed in self.router.route(packet):
+            self.packets_routed += 1
+            batch = self._pending[shard_id]
+            batch.append(routed)
+            if len(batch) >= self.batch_size:
+                self._inboxes[shard_id].put(batch)
+                self._pending[shard_id] = []
+
+    def feed_many(self, packets: Iterator[PcapPacket]) -> None:
+        for packet in packets:
+            self.feed(packet)
+
+    def drain(self) -> FleetResult:
+        """Flush every shard, collect results, merge, shut the pool."""
+        if not self._processes:
+            raise RuntimeError("service not started")
+        for shard_id, batch in enumerate(self._pending):
+            if batch:
+                self._inboxes[shard_id].put(batch)
+            self._inboxes[shard_id].put(None)
+        self._pending = [[] for _ in range(self.n_workers)]
+        results: list[ShardResult] = []
+        for _ in range(self.n_workers):
+            results.append(self._outbox.get(timeout=_DRAIN_TIMEOUT))
+        results.sort(key=lambda r: r.shard_id)
+        self.close()
+        for result in results:
+            if result.error is not None:
+                raise ShardError(
+                    f"shard {result.shard_id} died:\n{result.error}"
+                )
+        alerts = merge_alerts(
+            sa for result in results for sa in result.alerts
+        )
+        snapshot = merge_snapshots([r.snapshot for r in results])
+        return FleetResult(
+            alerts=alerts,
+            shards=results,
+            snapshot=snapshot,
+            packets_routed=self.packets_routed,
+        )
+
+    def close(self) -> None:
+        """Tear the pool down; idempotent, safe after drain()."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+        self._processes = []
+        self._inboxes = []

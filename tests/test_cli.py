@@ -74,6 +74,25 @@ class TestToolWorkflow:
         assert code == 0
         assert "0 alert(s)" in capsys.readouterr().out
 
+    def test_detect_workers_matches_single_process(self, model_path,
+                                                   tmp_path, capsys):
+        """``detect --workers 2`` runs the sharded daemon and must
+        print the identical alert lines and summary counts the
+        single-process path prints (the CLI face of the parity
+        contract)."""
+        pcap = str(tmp_path / "angler2.pcap")
+        assert main(["synth", pcap, "--kind", "Angler", "--seed", "7"]) == 0
+        capsys.readouterr()  # drop the synth line
+        single_code = main(["detect", pcap, "--model", model_path,
+                            "--threshold", "0.5"])
+        single_out = capsys.readouterr().out
+        sharded_code = main(["detect", pcap, "--model", model_path,
+                             "--threshold", "0.5", "--workers", "2"])
+        sharded_out = capsys.readouterr().out
+        assert sharded_code == single_code == 1
+        assert sharded_out == single_out
+        assert "ALERT" in sharded_out
+
 
 @pytest.fixture(scope="module")
 def cli_model(tmp_path_factory):
