@@ -32,7 +32,13 @@ from bisect import bisect_left, bisect_right
 from repro.core.model import HttpTransaction, Trace
 from repro.core.redirects import RedirectInferencer
 from repro.core.stages import Stage, StageAssigner
-from repro.core.wcg import EdgeData, EdgeKind, NodeKind, WebConversationGraph
+from repro.core.wcg import (
+    KIND_REDIRECT,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    NodeKind,
+    WebConversationGraph,
+)
 from repro.core.payloads import is_exploit_type
 from repro.exceptions import GraphConstructionError
 from repro.obs import get_registry
@@ -75,12 +81,12 @@ class WCGBuilder:
         # Request timestamps in ingest order — non-decreasing, so the
         # list is sorted and position == assigner seq.
         self._stamps: list[float] = []
-        # Per-seq (request EdgeData, response EdgeData | None) for
-        # in-place stage re-labelling.
-        self._txn_edges: list[tuple[EdgeData, EdgeData | None]] = []
-        # Redirect EdgeData in add order + a (timestamp, index) key list
-        # kept sorted for windowed re-staging.
-        self._redirect_edges: list[EdgeData] = []
+        # Per-seq (request edge index, response edge index | None) for
+        # columnar stage re-labelling through ``set_edge_stage``.
+        self._txn_edges: list[tuple[int, int | None]] = []
+        # Redirect edge indices in add order + a (timestamp, index) key
+        # list kept sorted for windowed re-staging.
+        self._redirect_edges: list[int] = []
         self._redirect_keys: list[tuple[float, int]] = []
         self._max_ts = float("-inf")
         metrics = get_registry()
@@ -175,30 +181,32 @@ class WCGBuilder:
         flash = request.headers.get("X-Flash-Version")
         if flash:
             wcg.x_flash_version = flash
-        request_edge = EdgeData(
-            kind=EdgeKind.REQUEST,
+        request_edge = wcg.append_edge(
+            txn.client,
+            txn.server,
+            kind=KIND_REQUEST,
             timestamp=request.timestamp,
-            stage=stage,
+            stage=int(stage),
             method=request.method.value,
             uri_length=request.uri_length,
             referrer=request.referrer,
             user_agent=request.user_agent,
         )
-        wcg.add_edge(txn.client, txn.server, request_edge)
         self._c_edges.inc()
-        response_edge: EdgeData | None = None
+        response_edge: int | None = None
         if txn.response is not None:
             ptype = txn.payload_type
             wcg.record_payload(txn.server, ptype)
-            response_edge = EdgeData(
-                kind=EdgeKind.RESPONSE,
+            response_edge = wcg.append_edge(
+                txn.server,
+                txn.client,
+                kind=KIND_RESPONSE,
                 timestamp=txn.response.timestamp,
-                stage=stage,
+                stage=int(stage),
                 status=txn.status,
                 payload_type=ptype,
                 payload_size=txn.payload_size,
             )
-            wcg.add_edge(txn.server, txn.client, response_edge)
             self._c_edges.inc()
             if (
                 200 <= txn.status < 300
@@ -216,9 +224,9 @@ class WCGBuilder:
             if other == seq:
                 continue
             other_request, other_response = self._txn_edges[other]
-            other_request.stage = new_stage
+            wcg.set_edge_stage(other_request, new_stage)
             if other_response is not None:
-                other_response.stage = new_stage
+                wcg.set_edge_stage(other_response, new_stage)
             if self._stamps[other] < relabel_floor:
                 relabel_floor = self._stamps[other]
 
@@ -230,14 +238,15 @@ class WCGBuilder:
         for redirect in self._inferencer.observe(txn):
             wcg.add_node(redirect.source, kind=NodeKind.REDIRECTOR)
             wcg.add_node(redirect.target)
-            redirect_edge = EdgeData(
-                kind=EdgeKind.REDIRECT,
+            redirect_edge = wcg.append_edge(
+                redirect.source,
+                redirect.target,
+                kind=KIND_REDIRECT,
                 timestamp=redirect.timestamp,
-                stage=self._stage_at(redirect.timestamp),
+                stage=int(self._stage_at(redirect.timestamp)),
                 redirect_kind=redirect.kind.value,
                 cross_domain=redirect.cross_domain,
             )
-            wcg.add_edge(redirect.source, redirect.target, redirect_edge)
             self._c_edges.inc()
             index = len(self._redirect_edges)
             self._redirect_edges.append(redirect_edge)
@@ -252,7 +261,8 @@ class WCGBuilder:
         # transactions whose stages did not move.
         start = bisect_left(self._redirect_keys, (relabel_floor, -1))
         for stamp, index in self._redirect_keys[start:]:
-            self._redirect_edges[index].stage = self._stage_at(stamp)
+            wcg.set_edge_stage(self._redirect_edges[index],
+                               self._stage_at(stamp))
 
     def _stage_at(self, ts: float) -> Stage:
         """Stage of the nearest transaction at or before ``ts``.
@@ -276,16 +286,14 @@ class WCGBuilder:
         target = first.server
         if wcg.origin == target:
             return False
-        wcg.add_edge(
+        wcg.append_edge(
             wcg.origin,
             target,
-            EdgeData(
-                kind=EdgeKind.REDIRECT,
-                timestamp=first.timestamp,
-                stage=Stage.PRE_DOWNLOAD,
-                redirect_kind="origin",
-                cross_domain=True,
-            ),
+            kind=KIND_REDIRECT,
+            timestamp=first.timestamp,
+            stage=int(Stage.PRE_DOWNLOAD),
+            redirect_kind="origin",
+            cross_domain=True,
         )
         return True
 

@@ -4,10 +4,17 @@ A WCG is a directed graph capturing the interaction between a victim host
 and one or more remote hosts.  Formally (paper notation) a WCG
 ``G_i = (Phi_i, Psi_i, Sigma_i, alpha, beta)`` where ``Phi`` are request
 edges, ``Psi`` response edges, ``Sigma`` redirection edges, ``alpha`` node
-attributes and ``beta`` edge attributes.  We realize it on a
-``networkx.MultiDiGraph`` so that parallel edges of different kinds
-between the same host pair coexist, and expose the annotated views that
-feature extraction (``repro.features``) consumes.
+attributes and ``beta`` edge attributes.
+
+Storage is columnar (DESIGN.md §14): hosts are interned to dense node
+ids and every numeric edge attribute lives in a numpy column of an
+:class:`~repro.core.columns.EdgeColumnStore`, grown by amortized
+doubling so the incremental live path stays O(1) per edge.  The object
+API the rest of the repo consumes — :meth:`edges` yielding
+:class:`EdgeData`, :meth:`simple_graph`, :attr:`graph` — is preserved
+as a read-only *view* materialized from the columns, which is what
+keeps every live-vs-batch and sharded differential byte-identical
+across the representation change.
 
 To make the on-the-wire path cheap, the graph maintains running
 aggregates as it mutates:
@@ -27,12 +34,13 @@ aggregates as it mutates:
 from __future__ import annotations
 
 import enum
-from bisect import insort
 from dataclasses import dataclass, field, replace
 from typing import Iterator
 
 import networkx as nx
+import numpy as np
 
+from repro.core.columns import METHODS, REDIRECT_KINDS, EdgeColumnStore
 from repro.core.payloads import PayloadSummary, PayloadType
 from repro.core.stages import Stage
 
@@ -62,6 +70,18 @@ class EdgeKind(enum.Enum):
     REDIRECT = "redir"
 
 
+#: Dense codes for the ``kind`` column and back.
+_KIND_CODE = {EdgeKind.REQUEST: 0, EdgeKind.RESPONSE: 1, EdgeKind.REDIRECT: 2}
+_KIND_OF_CODE = (EdgeKind.REQUEST, EdgeKind.RESPONSE, EdgeKind.REDIRECT)
+KIND_REQUEST, KIND_RESPONSE, KIND_REDIRECT = 0, 1, 2
+
+#: Dense codes for the ``payload`` column; -1 encodes None.
+_PAYLOAD_TYPES = tuple(PayloadType)
+_PAYLOAD_CODE = {ptype: code for code, ptype in enumerate(_PAYLOAD_TYPES)}
+
+_STAGES = tuple(Stage)
+
+
 @dataclass
 class EdgeData:
     """Edge attributes ``beta`` (Section III-C, edge-level).
@@ -69,6 +89,12 @@ class EdgeData:
     ``method``/``uri_length`` are set on request edges;
     ``status``/``payload_type``/``payload_size`` on response edges;
     ``redirect_kind``/``cross_domain`` on redirect edges.
+
+    Since the columnar refactor this is a *view record*: :meth:`
+    WebConversationGraph.edges` materializes one per edge from the
+    column store.  Mutating a yielded record does not write back —
+    stage re-labelling goes through
+    :meth:`WebConversationGraph.set_edge_stage`.
     """
 
     kind: EdgeKind
@@ -136,12 +162,11 @@ class WebConversationGraph:
 
     Construction normally goes through
     :class:`repro.core.builder.WCGBuilder`; the mutation API here
-    (``add_node`` / ``add_edge``) is what the builder and the incremental
-    on-the-wire updater drive.
+    (``add_node`` / ``add_edge`` / ``append_edge``) is what the builder
+    and the incremental on-the-wire updater drive.
     """
 
     def __init__(self, victim: str, origin: str = ""):
-        self._graph = nx.MultiDiGraph()
         self.victim = victim
         self.origin = origin or EMPTY_ORIGIN
         self._dnt = False
@@ -149,10 +174,23 @@ class WebConversationGraph:
         self._version = 0
         self._structure_version = 0
         self.counters = GraphCounters()
-        self._degrees: dict[str, int] = {}
+        # Host interning: name -> dense id, id -> name, id -> alpha record.
+        self._host_ids: dict[str, int] = {}
+        self._host_names: list[str] = []
+        self._node_records: list[_NodeData] = []
+        self._degrees: list[int] = []
         self._pair_multiplicity: dict[tuple[str, str], int] = {}
-        self._timestamps: list[float] = []
-        self._request_stamps: list[float] = []
+        self._edges = EdgeColumnStore()
+        # Running timestamp extrema (duration = max - min, identical to
+        # sorted[-1] - sorted[0]); sorted caches built lazily per version.
+        self._ts_min = np.inf
+        self._ts_max = -np.inf
+        self._sorted_ts: tuple[int, list[float]] | None = None
+        self._sorted_req_ts: tuple[int, np.ndarray] | None = None
+        # Stage re-labels do not bump ``version`` (stages are not feature
+        # inputs); the nx back-compat view keys on this epoch too.
+        self._stage_epoch = 0
+        self._nx_cache: tuple[int, int, nx.MultiDiGraph] | None = None
         self.add_node(self.origin, kind=NodeKind.ORIGIN)
         self.add_node(victim, kind=NodeKind.VICTIM)
 
@@ -193,15 +231,50 @@ class WebConversationGraph:
     # --- structure -------------------------------------------------------
 
     @property
+    def edge_store(self) -> EdgeColumnStore:
+        """The columnar edge storage (vectorized extraction reads this)."""
+        return self._edges
+
+    @property
     def graph(self) -> nx.MultiDiGraph:
-        """The underlying annotated multigraph (read-mostly)."""
-        return self._graph
+        """Back-compat ``networkx`` view, rebuilt on demand and cached.
+
+        Node records are shared with the live graph (reads through the
+        view see current annotations); edge attribute records are
+        materialized :class:`EdgeData` copies.
+        """
+        cached = self._nx_cache
+        if cached is not None and cached[0] == self._version \
+                and cached[1] == self._stage_epoch:
+            return cached[2]
+        view = nx.MultiDiGraph()
+        for node_id, host in enumerate(self._host_names):
+            view.add_node(host, data=self._node_records[node_id])
+        names = self._host_names
+        store = self._edges
+        for i in range(len(store)):
+            view.add_edge(names[store.src[i]], names[store.dst[i]],
+                          data=self._edge_at(i))
+        self._nx_cache = (self._version, self._stage_epoch, view)
+        return view
+
+    def _intern(self, host: str) -> int:
+        node_id = self._host_ids.get(host)
+        if node_id is None:
+            node_id = self._host_ids[host] = len(self._host_names)
+            self._host_names.append(host)
+            self._node_records.append(_NodeData())
+            self._degrees.append(0)
+            self._version += 1
+            self._structure_version += 1
+        return node_id
 
     def add_node(self, host: str, kind: NodeKind = NodeKind.REMOTE,
                  ip: str = "") -> None:
         """Add (or update) a host node."""
-        if host in self._graph:
-            data: _NodeData = self._graph.nodes[host]["data"]
+        existing = self._host_ids.get(host)
+        if existing is not None:
+            data = self._node_records[existing]
             # VICTIM/ORIGIN designations are sticky; MALICIOUS upgrades REMOTE.
             if data.kind is NodeKind.REMOTE and kind in (
                 NodeKind.MALICIOUS,
@@ -211,33 +284,97 @@ class WebConversationGraph:
             if ip and not data.ip:
                 data.ip = ip
             return
-        self._graph.add_node(host, data=_NodeData(kind=kind, ip=ip))
-        self._degrees[host] = 0
-        self._version += 1
-        self._structure_version += 1
+        node_id = self._intern(host)
+        record = self._node_records[node_id]
+        record.kind = kind
+        record.ip = ip
 
     def mark_malicious(self, host: str) -> None:
         """Designate a node malicious (it served an exploit payload)."""
-        if host not in self._graph:
+        if host not in self._host_ids:
             self.add_node(host, kind=NodeKind.MALICIOUS)
             return
-        data: _NodeData = self._graph.nodes[host]["data"]
+        data = self._node_records[self._host_ids[host]]
         if data.kind in (NodeKind.REMOTE, NodeKind.REDIRECTOR):
             data.kind = NodeKind.MALICIOUS
 
     def add_edge(self, source: str, target: str, data: EdgeData) -> None:
-        """Add a typed, annotated edge, creating endpoints as needed."""
+        """Add a typed, annotated edge, creating endpoints as needed.
+
+        Object-API wrapper over :meth:`append_edge`; the record is
+        unpacked into the columns (not retained), so later mutation of
+        ``data`` does not write through.
+        """
+        self.append_edge(
+            source,
+            target,
+            kind=_KIND_CODE[data.kind],
+            timestamp=data.timestamp,
+            stage=int(data.stage),
+            method=data.method,
+            uri_length=data.uri_length,
+            status=data.status,
+            payload_type=data.payload_type,
+            payload_size=data.payload_size,
+            redirect_kind=data.redirect_kind,
+            cross_domain=data.cross_domain,
+            referrer=data.referrer,
+            user_agent=data.user_agent,
+        )
+
+    def append_edge(
+        self,
+        source: str,
+        target: str,
+        kind: int,
+        timestamp: float,
+        stage: int,
+        method: str = "",
+        uri_length: int = 0,
+        status: int = 0,
+        payload_type: PayloadType | None = None,
+        payload_size: int = 0,
+        redirect_kind: str = "",
+        cross_domain: bool = False,
+        referrer: str = "",
+        user_agent: str = "",
+    ) -> int:
+        """Append one edge into the columns; returns its edge index.
+
+        This is the hot-path entry the builder uses directly — no
+        :class:`EdgeData` allocation per edge.  Counter maintenance is
+        identical to the seed object path, so every derived feature
+        stays bit-identical.
+        """
         self.add_node(source)
         self.add_node(target)
-        self._graph.add_edge(source, target, data=data)
+        src = self._host_ids[source]
+        dst = self._host_ids[target]
+        index = self._edges.append(
+            timestamp=timestamp,
+            kind=kind,
+            stage=stage,
+            src=src,
+            dst=dst,
+            method=METHODS.code(method),
+            uri_length=uri_length,
+            status=status,
+            payload=_PAYLOAD_CODE[payload_type] if payload_type is not None
+            else -1,
+            size=payload_size,
+            redirect=REDIRECT_KINDS.code(redirect_kind),
+            cross=cross_domain,
+            referrer=referrer,
+            user_agent=user_agent,
+        )
         self._version += 1
 
-        degree = self._degrees[source] + 1
-        self._degrees[source] = degree
+        degree = self._degrees[src] + 1
+        self._degrees[src] = degree
         if degree > self.counters.max_degree:
             self.counters.max_degree = degree
-        degree = self._degrees[target] + 1
-        self._degrees[target] = degree
+        degree = self._degrees[dst] + 1
+        self._degrees[dst] = degree
         if degree > self.counters.max_degree:
             self.counters.max_degree = degree
 
@@ -248,32 +385,41 @@ class WebConversationGraph:
             self.counters.distinct_pairs += 1
             self._structure_version += 1
 
-        insort(self._timestamps, data.timestamp)
+        if timestamp < self._ts_min:
+            self._ts_min = timestamp
+        if timestamp > self._ts_max:
+            self._ts_max = timestamp
         counters = self.counters
-        if data.kind is EdgeKind.REQUEST:
+        if kind == KIND_REQUEST:
             counters.request_edges += 1
-            if data.method == "GET":
+            if method == "GET":
                 counters.gets += 1
-            elif data.method == "POST":
+            elif method == "POST":
                 counters.posts += 1
             else:
                 counters.other_methods += 1
-            if data.referrer:
+            if referrer:
                 counters.with_referrer += 1
             else:
                 counters.without_referrer += 1
-            insort(self._request_stamps, data.timestamp)
-        elif data.kind is EdgeKind.RESPONSE:
+        elif kind == KIND_RESPONSE:
             counters.response_edges += 1
-            klass = data.status // 100
+            klass = status // 100
             if klass in counters.status_classes:
                 counters.status_classes[klass] += 1
         else:
             counters.redirect_edges += 1
+        return index
+
+    def set_edge_stage(self, index: int, stage: Stage | int) -> None:
+        """Re-label one edge's stage (no ``version`` bump — stages are
+        not feature inputs, matching the seed's in-place mutation)."""
+        self._edges.set_stage(index, int(stage))
+        self._stage_epoch += 1
 
     def node_data(self, host: str) -> _NodeData:
         """The ``alpha`` record for ``host``."""
-        return self._graph.nodes[host]["data"]
+        return self._node_records[self._host_ids[host]]
 
     def record_uri(self, host: str, uri: str) -> None:
         """Track a URI observed for ``host`` (URIs-per-host annotation)."""
@@ -295,12 +441,38 @@ class WebConversationGraph:
 
     # --- views -----------------------------------------------------------
 
+    def _edge_at(self, i: int) -> EdgeData:
+        """Materialize the :class:`EdgeData` view of edge ``i``."""
+        store = self._edges
+        code = store.payload[i]
+        return EdgeData(
+            kind=_KIND_OF_CODE[store.kind[i]],
+            timestamp=float(store.timestamp[i]),
+            stage=_STAGES[store.stage[i]],
+            method=METHODS.string(store.method[i]),
+            uri_length=int(store.uri_length[i]),
+            status=int(store.status[i]),
+            payload_type=_PAYLOAD_TYPES[code] if code >= 0 else None,
+            payload_size=int(store.size[i]),
+            redirect_kind=REDIRECT_KINDS.string(store.redirect[i]),
+            cross_domain=bool(store.cross[i]),
+            referrer=store.referrer[i],
+            user_agent=store.user_agent[i],
+        )
+
     def edges(self, kind: EdgeKind | None = None) -> Iterator[tuple[str, str, EdgeData]]:
-        """Iterate ``(source, target, EdgeData)``, optionally filtered."""
-        for source, target, attrs in self._graph.edges(data=True):
-            data: EdgeData = attrs["data"]
-            if kind is None or data.kind is kind:
-                yield source, target, data
+        """Iterate ``(source, target, EdgeData)``, optionally filtered.
+
+        Yields in edge append order; records are materialized views
+        over the columns (see :class:`EdgeData`).
+        """
+        store = self._edges
+        names = self._host_names
+        want = None if kind is None else _KIND_CODE[kind]
+        for i in range(len(store)):
+            if want is None or store.kind[i] == want:
+                yield names[store.src[i]], names[store.dst[i]], \
+                    self._edge_at(i)
 
     def request_edges(self) -> list[tuple[str, str, EdgeData]]:
         """``Phi`` — request edges."""
@@ -315,26 +487,26 @@ class WebConversationGraph:
         return list(self.edges(EdgeKind.REDIRECT))
 
     def hosts(self) -> list[str]:
-        """All node names, origin node included."""
-        return list(self._graph.nodes)
+        """All node names, origin node included (insertion order)."""
+        return list(self._host_names)
 
     def remote_hosts(self) -> list[str]:
         """All nodes other than the victim and the origin."""
         return [
             host
-            for host in self._graph.nodes
+            for host in self._host_names
             if host not in (self.victim, self.origin)
         ]
 
     @property
     def order(self) -> int:
         """Number of nodes (feature f7)."""
-        return self._graph.number_of_nodes()
+        return len(self._host_names)
 
     @property
     def size(self) -> int:
         """Number of edges (feature f8)."""
-        return self._graph.number_of_edges()
+        return len(self._edges)
 
     @property
     def has_known_origin(self) -> bool:
@@ -342,33 +514,47 @@ class WebConversationGraph:
         return self.origin != EMPTY_ORIGIN
 
     def timestamps(self) -> list[float]:
-        """All edge timestamps, ascending (maintained sorted, not re-sorted)."""
-        return list(self._timestamps)
+        """All edge timestamps, ascending (sorted lazily, cached per
+        version)."""
+        cached = self._sorted_ts
+        if cached is None or cached[0] != self._version:
+            ordered = np.sort(self._edges.column("timestamp")).tolist()
+            cached = self._sorted_ts = (self._version, ordered)
+        return list(cached[1])
 
-    def request_timestamps(self) -> list[float]:
+    def request_timestamps(self) -> np.ndarray:
         """Request-edge timestamps, ascending.  Treat as read-only."""
-        return self._request_stamps
+        cached = self._sorted_req_ts
+        if cached is None or cached[0] != self._version:
+            store = self._edges
+            stamps = np.sort(
+                store.column("timestamp")[store.column("kind")
+                                          == KIND_REQUEST]
+            )
+            cached = self._sorted_req_ts = (self._version, stamps)
+        return cached[1]
 
     @property
     def duration(self) -> float:
         """Conversation duration in seconds (graph-level annotation)."""
-        stamps = self._timestamps
-        if len(stamps) < 2:
+        if len(self._edges) < 2:
             return 0.0
-        return stamps[-1] - stamps[0]
+        return self._ts_max - self._ts_min
 
     def stage_edges(self, stage: Stage) -> list[tuple[str, str, EdgeData]]:
         """Edges annotated with the given conversation stage."""
+        store = self._edges
+        names = self._host_names
+        want = int(stage)
         return [
-            (source, target, data)
-            for source, target, data in self.edges()
-            if data.stage is stage
+            (names[store.src[i]], names[store.dst[i]], self._edge_at(i))
+            for i in np.nonzero(store.column("stage") == want)[0]
         ]
 
     def has_post_download_dynamics(self) -> bool:
         """True when at least one post-download edge exists."""
-        return any(
-            data.stage is Stage.POST_DOWNLOAD for _, _, data in self.edges()
+        return bool(
+            np.any(self._edges.column("stage") == int(Stage.POST_DOWNLOAD))
         )
 
     def simple_graph(self, include_origin: bool = True) -> nx.DiGraph:
@@ -387,7 +573,7 @@ class WebConversationGraph:
         bit-identical (see DESIGN.md §9).
         """
         simple = nx.DiGraph()
-        for host in sorted(self._graph.nodes):
+        for host in sorted(self._host_names):
             if not include_origin and host == self.origin:
                 continue
             simple.add_node(host)
@@ -402,11 +588,11 @@ class WebConversationGraph:
     def copy(self) -> "WebConversationGraph":
         """Deep-enough copy for incremental what-if evaluation.
 
-        Edge records are duplicated — the live builder re-labels stages
-        in place, and that must not leak into clones.
+        Columns snapshot as array slice-copies (no per-edge object
+        duplication); node records are duplicated so live-builder
+        annotations do not leak into clones.
         """
         clone = WebConversationGraph.__new__(WebConversationGraph)
-        clone._graph = nx.MultiDiGraph()
         clone.victim = self.victim
         clone.origin = self.origin
         clone._dnt = self._dnt
@@ -414,18 +600,23 @@ class WebConversationGraph:
         clone._version = self._version
         clone._structure_version = self._structure_version
         clone.counters = self.counters.copy()
-        clone._degrees = dict(self._degrees)
+        clone._host_ids = dict(self._host_ids)
+        clone._host_names = list(self._host_names)
+        clone._degrees = list(self._degrees)
         clone._pair_multiplicity = dict(self._pair_multiplicity)
-        clone._timestamps = list(self._timestamps)
-        clone._request_stamps = list(self._request_stamps)
-        for host, attrs in self._graph.nodes(data=True):
-            data: _NodeData = attrs["data"]
+        clone._edges = self._edges.copy()
+        clone._ts_min = self._ts_min
+        clone._ts_max = self._ts_max
+        clone._sorted_ts = None
+        clone._sorted_req_ts = None
+        clone._stage_epoch = 0
+        clone._nx_cache = None
+        clone._node_records = []
+        for data in self._node_records:
             copied = _NodeData(kind=data.kind, ip=data.ip)
             copied.uris = set(data.uris)
             copied.payloads.counts = dict(data.payloads.counts)
-            clone._graph.add_node(host, data=copied)
-        for source, target, attrs in self._graph.edges(data=True):
-            clone._graph.add_edge(source, target, data=replace(attrs["data"]))
+            clone._node_records.append(copied)
         return clone
 
     def __repr__(self) -> str:

@@ -76,17 +76,20 @@ class DetectorConfig:
 class _PendingScore:
     """One classification request awaiting the (micro-batched) ERF call.
 
-    Everything the verdict depends on — the feature row and the WCG's
-    order/size at request time — is captured here, so deferring the
-    classifier call cannot observe later graph growth.  The batching
-    flush rule (no second transaction of the same client routes while
-    one of its watches has a pending score) guarantees the graph in
-    fact cannot grow before the flush.
+    The WCG reference plus its order/size at request time are captured
+    here; feature extraction itself is deferred to the flush, where all
+    pending rows are assembled in one vectorized
+    :meth:`~repro.features.extractor.FeatureExtractor.extract_batch`
+    pass.  That deferral is sound because the batching flush rule (no
+    second transaction of the same client routes while one of its
+    watches has a pending score) guarantees the graph cannot mutate
+    between the request and the flush — the extracted row is exactly
+    what request-time extraction would have produced.
     """
 
     watch: SessionWatch
     now: float
-    vector: "np.ndarray"
+    wcg: "object"
     wcg_order: int
     wcg_size: int
 
@@ -260,31 +263,30 @@ class OnTheWireDetector:
             # that score did not alert (the watch would be terminated) —
             # the verdict is already known to be sub-threshold.
             return None
-        # The extractor's cached read-only vector is the scoring row;
-        # single requests score it as a 1-row view, batches stack it.
-        vector = self._extractor.extract(wcg)
         self.classifications += 1
         self._c_scores.inc()
         self._updates_since_score[watch.key] = 1
         self._scored_order[watch.key] = wcg.order
         self._scored_version[watch.key] = wcg.version
-        return _PendingScore(watch=watch, now=now, vector=vector,
+        return _PendingScore(watch=watch, now=now, wcg=wcg,
                              wcg_order=wcg.order, wcg_size=wcg.size)
 
     def score_batch(self, requests: list[_PendingScore]) -> list[Alert]:
         """Score pending requests as one matrix call; dispatch in order.
 
-        Per-row classifier output is independent of the other rows in
-        the matrix (both inference engines are elementwise across
-        rows), so each verdict is byte-identical to the single-row call
-        the sequential path would have made.
+        Feature rows are assembled here, in one vectorized
+        ``extract_batch`` pass over the pending WCGs (safe because the
+        flush rule froze them; see :class:`_PendingScore`).  Per-row
+        classifier output is independent of the other rows in the
+        matrix (both inference engines are elementwise across rows), so
+        each verdict is byte-identical to the single-row call the
+        sequential path would have made.
         """
         if not requests:
             return []
-        if len(requests) == 1:
-            rows = requests[0].vector[None, :]
-        else:
-            rows = np.stack([request.vector for request in requests])
+        rows = self._extractor.extract_batch(
+            [request.wcg for request in requests]
+        )
         scores = self._timed_scores(rows)
         self._c_batches.inc()
         self._h_batch_size.observe(len(requests))
@@ -315,7 +317,8 @@ class OnTheWireDetector:
         request = self._request_score(watch, now)
         if request is None:
             return None
-        score = float(self._timed_scores(request.vector[None, :])[0])
+        vector = self._extractor.extract(request.wcg)
+        score = float(self._timed_scores(vector[None, :])[0])
         self._c_batches.inc()
         self._h_batch_size.observe(1)
         return self._dispatch(request, score)
@@ -395,6 +398,15 @@ class OnTheWireDetector:
     def watch_count(self) -> int:
         """Number of session watches opened so far."""
         return self._table.opened_count
+
+    def active_watches(self) -> list[SessionWatch]:
+        """Live clue-active watches (the ones with a WCG worth
+        snapshotting), in table order."""
+        return [
+            watch for watch in self._table.watches()
+            if watch.active_clue is not None
+            and not watch.alerted and not watch.terminated
+        ]
 
     def tracked_state_size(self) -> tuple[int, int, int]:
         """(live watches, per-watch score entries, cooldown entries) —

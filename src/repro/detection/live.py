@@ -45,8 +45,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.model import HttpTransaction
 from repro.detection.alerts import Alert
+from repro.detection.clues import InfectionClue
 from repro.detection.detector import OnTheWireDetector
 from repro.exceptions import HttpParseError, PcapError
 from repro.net.flows import AddressBook, StreamPairer, _segments_of
@@ -60,7 +63,36 @@ from repro.net.reassembly import (
 from repro.obs import PipelineStatsReporter, get_registry
 
 __all__ = ["OverloadPolicy", "LiveDecoder", "DetectionEngine",
-           "LiveDetector"]
+           "LiveDetector", "WatchSnapshot"]
+
+
+@dataclass(frozen=True)
+class WatchSnapshot:
+    """Cheap, picklable summary of one live clue-active session watch.
+
+    Built from the WCG's column store — the per-watch numbers below are
+    counter reads plus numpy reductions over column *slices* (stage
+    histogram, timestamp extrema), no per-edge object materialization —
+    which is what makes per-shard snapshotting viable on the hot path
+    of :mod:`repro.service` (DESIGN.md §14).
+
+    Snapshots are value objects: two engines that saw the same client's
+    packets produce equal snapshots, which is how the sharded
+    differential pins fleet state against the single-process engine.
+    """
+
+    key: str
+    client: str
+    transactions: int
+    clue: InfectionClue | None
+    order: int
+    size: int
+    version: int
+    structure_version: int
+    first_edge_ts: float
+    last_edge_ts: float
+    #: Edge counts per stage (pre-download, download, post-download).
+    stage_counts: tuple[int, int, int]
 
 
 @dataclass(frozen=True)
@@ -261,6 +293,40 @@ class DetectionEngine:
             self.detector.finalize()
         alerts.extend(self.detector.alerts[before:])
         return alerts
+
+    def snapshot_watches(self) -> list["WatchSnapshot"]:
+        """Summaries of every live clue-active watch, sorted by
+        ``(client, key)``.
+
+        Each summary is assembled from the watch WCG's columns (slice
+        reductions, see :class:`WatchSnapshot`); the sort makes the
+        list canonical, so per-shard lists concatenate and re-sort into
+        the same fleet view regardless of worker count.
+        """
+        snapshots: list[WatchSnapshot] = []
+        for watch in self.detector.active_watches():
+            wcg = watch.wcg()
+            store = wcg.edge_store
+            timestamps = store.column("timestamp")
+            stage_hist = np.bincount(
+                store.column("stage"), minlength=3
+            )
+            snapshots.append(WatchSnapshot(
+                key=watch.key,
+                client=watch.client,
+                transactions=len(watch.transactions),
+                clue=watch.active_clue,
+                order=wcg.order,
+                size=wcg.size,
+                version=wcg.version,
+                structure_version=wcg.structure_version,
+                first_edge_ts=float(timestamps.min()) if len(store) else 0.0,
+                last_edge_ts=float(timestamps.max()) if len(store) else 0.0,
+                stage_counts=(int(stage_hist[0]), int(stage_hist[1]),
+                              int(stage_hist[2])),
+            ))
+        snapshots.sort(key=lambda s: (s.client, s.key))
+        return snapshots
 
 
 class LiveDetector:

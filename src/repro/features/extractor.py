@@ -8,19 +8,41 @@ Extraction is tiered for the on-the-wire path:
 
 * the cheap tier (high-level, header, temporal, scalar graph features)
   reads the WCG's running counters — O(1) per feature;
-* the expensive topology tier is cached per graph and recomputed only
-  when ``structure_version`` moves (a new node or new host pair);
+* the expensive topology tier is *content-addressed*: every topology
+  feature is a function of the graph's :func:`~repro.features.topology.
+  structure_key` alone, so results live in a bounded LRU shared across
+  graphs — sessions that repeat a conversation shape (the common case
+  under real traffic) pay for it once.  A per-graph weak cache keyed on
+  ``structure_version`` short-circuits the key computation for an
+  unchanged graph;
 * the assembled 37-vector is cached per graph keyed on ``version``, so
   scoring an unchanged WCG never re-extracts anything.
 
-Both caches are :class:`weakref.WeakKeyDictionary` keyed on the graph
-object — entries vanish with their graph, so a long-lived extractor
-inside the detector cannot accumulate state for dead sessions.
+:meth:`FeatureExtractor.extract_batch` is the multi-graph entry point:
+cache-fresh rows are reused, the rest are assembled in one vectorized
+pass (:func:`repro.features.batch.assemble_rows`) — this is what the
+detector's ``score_batch`` flush, :func:`extract_matrix`, and
+:func:`repro.learning.dataset.dataset_from_graphs` ride.
+
+The topology tier has two engines, switched by the
+``REPRO_TOPOLOGY_ENGINE`` environment variable (or the constructor
+argument): ``fast`` (default) runs the bit-exact structural kernels of
+:mod:`repro.features.topology`; ``object`` runs the original networkx
+walk (:func:`repro.features.graph.topology_features`) and exists as the
+reference the differential tests compare against.
+
+Cache lifetime: the per-graph caches are
+:class:`weakref.WeakKeyDictionary` — entries vanish with their graph —
+and the structural LRU is bounded (``structure_cache_size``, default
+4096 entries of eleven floats), so a long-running tap extracting from
+millions of session graphs holds constant extractor state.
 """
 
 from __future__ import annotations
 
+import os
 import weakref
+from collections import OrderedDict
 
 import numpy as np
 
@@ -28,39 +50,87 @@ from repro.core.builder import build_wcg
 from repro.core.model import Trace
 from repro.core.wcg import WebConversationGraph
 from repro.exceptions import FeatureError
+from repro.features.batch import assemble_rows
 from repro.features.graph import scalar_graph_features, topology_features
 from repro.features.header import header_features
 from repro.features.high_level import high_level_features
 from repro.features.registry import FEATURES, NUM_FEATURES
 from repro.features.temporal import temporal_features
+from repro.features.topology import structural_topology_features, structure_key
 from repro.obs import get_registry
-from repro.parallel import parallel_map
+from repro.parallel import parallel_map, resolve_n_jobs
 
 __all__ = ["FeatureExtractor", "extract_features", "extract_matrix",
-           "extract_trace_features"]
+           "extract_matrix_batch", "extract_trace_features"]
+
+#: Default bound on the shared structural topology LRU.
+_STRUCTURE_CACHE_SIZE = 4096
+
+_ENGINES = ("fast", "object")
+
+
+def _default_engine() -> str:
+    """Topology engine from ``REPRO_TOPOLOGY_ENGINE`` (default ``fast``)."""
+    engine = os.environ.get("REPRO_TOPOLOGY_ENGINE", "fast").strip().lower()
+    if engine not in _ENGINES:
+        raise FeatureError(
+            f"unknown topology engine {engine!r}; expected one of {_ENGINES}"
+        )
+    return engine
 
 
 class FeatureExtractor:
     """Extractor of the 37 payload-agnostic features.
 
     Semantically stateless — the same WCG always yields the same vector
-    — but carries per-graph memoization so repeated extraction of a
-    live, growing WCG only pays for what actually changed.
+    — but carries memoization so repeated extraction of a live, growing
+    WCG only pays for what actually changed, and graphs sharing a
+    conversation shape share one topology computation.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        topology_engine: str | None = None,
+        structure_cache_size: int = _STRUCTURE_CACHE_SIZE,
+    ) -> None:
+        if topology_engine is None:
+            topology_engine = _default_engine()
+        elif topology_engine not in _ENGINES:
+            raise FeatureError(
+                f"unknown topology engine {topology_engine!r}; "
+                f"expected one of {_ENGINES}"
+            )
+        self._engine = topology_engine
         self._vector_cache: "weakref.WeakKeyDictionary[WebConversationGraph, tuple[int, np.ndarray]]" = (
             weakref.WeakKeyDictionary()
         )
         self._topology_cache: "weakref.WeakKeyDictionary[WebConversationGraph, tuple[int, dict[str, float]]]" = (
             weakref.WeakKeyDictionary()
         )
+        # Shared content-addressed topology results, LRU-bounded so a
+        # long-running tap cannot accumulate unbounded structures.
+        self._structural: "OrderedDict[tuple[int, tuple[tuple[int, int], ...]], dict[str, float]]" = (
+            OrderedDict()
+        )
+        self._structure_cache_size = max(1, structure_cache_size)
         metrics = get_registry()
         self._metrics = metrics
         self._c_vec_hits = metrics.counter("features.vector_cache_hits")
         self._c_vec_misses = metrics.counter("features.vector_cache_misses")
         self._c_topo_hits = metrics.counter("features.topology_cache_hits")
         self._c_topo_misses = metrics.counter("features.topology_cache_misses")
+        self._c_batch_extracts = metrics.counter("features.batch_extracts")
+        self._c_batch_rows = metrics.counter("features.batch_rows")
+
+    @property
+    def topology_engine(self) -> str:
+        """The active topology engine (``fast`` or ``object``)."""
+        return self._engine
+
+    @property
+    def structure_cache_len(self) -> int:
+        """Entries currently held by the structural LRU (for tests)."""
+        return len(self._structural)
 
     def extract(self, wcg: WebConversationGraph) -> np.ndarray:
         """Feature vector for one WCG, in registry order.
@@ -94,15 +164,65 @@ class FeatureExtractor:
         self._vector_cache[wcg] = (wcg.version, vector)
         return vector
 
+    def extract_batch(
+        self, graphs: list[WebConversationGraph]
+    ) -> np.ndarray:
+        """The ``(len(graphs), 37)`` matrix, rows in input order.
+
+        Byte-identical per row to :meth:`extract` on the same graph —
+        cache-fresh rows are reused verbatim, stale/new rows go through
+        one vectorized :func:`~repro.features.batch.assemble_rows` pass
+        with topology served from the structural cache.  Returns a
+        fresh writable matrix (rows are *copied* out of the cache).
+        """
+        graphs = list(graphs)
+        self._c_batch_extracts.inc()
+        self._c_batch_rows.inc(len(graphs))
+        if not graphs:
+            return np.empty((0, NUM_FEATURES), dtype=np.float64)
+        with self._metrics.span("features.extract_batch"):
+            rows: list[np.ndarray | None] = [None] * len(graphs)
+            fresh: list[int] = []
+            for i, wcg in enumerate(graphs):
+                cached = self._vector_cache.get(wcg)
+                if cached is not None and cached[0] == wcg.version:
+                    self._c_vec_hits.inc()
+                    rows[i] = cached[1]
+                else:
+                    self._c_vec_misses.inc()
+                    fresh.append(i)
+            if fresh:
+                fresh_graphs = [graphs[i] for i in fresh]
+                topology_rows = [self._topology(g) for g in fresh_graphs]
+                matrix = assemble_rows(fresh_graphs, topology_rows)
+                for j, i in enumerate(fresh):
+                    row = matrix[j]
+                    row.flags.writeable = False
+                    self._vector_cache[graphs[i]] = (graphs[i].version, row)
+                    rows[i] = row
+            return np.vstack(rows)
+
     def _topology(self, wcg: WebConversationGraph) -> dict[str, float]:
-        """The expensive tier, memoized on the graph's structure version."""
+        """The expensive tier: per-graph memo, then the structural LRU."""
         cached = self._topology_cache.get(wcg)
         if cached is not None and cached[0] == wcg.structure_version:
             self._c_topo_hits.inc()
             return cached[1]
-        self._c_topo_misses.inc()
-        with self._metrics.span("features.topology"):
-            values = topology_features(wcg)
+        key = structure_key(wcg)
+        values = self._structural.get(key)
+        if values is not None:
+            self._structural.move_to_end(key)
+            self._c_topo_hits.inc()
+        else:
+            self._c_topo_misses.inc()
+            with self._metrics.span("features.topology"):
+                if self._engine == "object":
+                    values = topology_features(wcg)
+                else:
+                    values = structural_topology_features(*key)
+            self._structural[key] = values
+            while len(self._structural) > self._structure_cache_size:
+                self._structural.popitem(last=False)
         self._topology_cache[wcg] = (wcg.structure_version, values)
         return values
 
@@ -116,6 +236,11 @@ def extract_features(wcg: WebConversationGraph) -> np.ndarray:
     return FeatureExtractor().extract(wcg)
 
 
+def extract_matrix_batch(graphs: list[WebConversationGraph]) -> np.ndarray:
+    """One-pass ``(n_graphs, 37)`` matrix for pre-built WCGs."""
+    return FeatureExtractor().extract_batch(graphs)
+
+
 def extract_trace_features(trace: Trace) -> np.ndarray:
     """Feature row for one trace (module-level so process pools can ship it)."""
     return FeatureExtractor().extract_trace(trace)
@@ -127,15 +252,21 @@ def extract_matrix(
     """Extract a design matrix and label vector from labelled traces.
 
     Returns ``(X, y)`` with ``y[i] = 1`` for infections, ``0`` for benign.
-    Raises :class:`FeatureError` when a trace is unlabelled.  Per-trace
-    extraction is stateless, so ``n_jobs`` fans it out over a process
-    pool (``-1`` = all cores); row order always matches the input order.
+    Raises :class:`FeatureError` when a trace is unlabelled.  The serial
+    path builds every WCG and rides one :meth:`FeatureExtractor.
+    extract_batch` pass (sharing topology across repeated conversation
+    shapes); ``n_jobs`` fans per-trace extraction out over a process
+    pool instead (``-1`` = all cores).  Row order always matches the
+    input order, and both paths produce byte-identical matrices.
     """
     for trace in traces:
         if trace.label is None:
             raise FeatureError("extract_matrix requires labelled traces")
     if not traces:
         return np.empty((0, NUM_FEATURES)), np.empty(0)
-    rows = parallel_map(extract_trace_features, traces, n_jobs=n_jobs)
     labels = [1.0 if trace.is_infection else 0.0 for trace in traces]
+    if min(resolve_n_jobs(n_jobs), len(traces)) <= 1:
+        graphs = [build_wcg(trace) for trace in traces]
+        return FeatureExtractor().extract_batch(graphs), np.array(labels)
+    rows = parallel_map(extract_trace_features, traces, n_jobs=n_jobs)
     return np.vstack(rows), np.array(labels)

@@ -34,20 +34,49 @@ import numpy as np
 from repro.core.wcg import WebConversationGraph
 
 __all__ = ["graph_features", "scalar_graph_features", "topology_features",
-           "average_node_connectivity_sampled", "avg_nodes_within_k"]
+           "average_node_connectivity_sampled", "avg_nodes_within_k",
+           "sample_connectivity_pairs"]
 
 #: Pair-sample cap for average node connectivity on large graphs.
 _CONNECTIVITY_PAIR_CAP = 120
 
 
+def sample_connectivity_pairs(
+    count: int,
+    pair_cap: int = _CONNECTIVITY_PAIR_CAP,
+    seed: int | None = None,
+) -> list[tuple[int, int]]:
+    """The (i, j) index pairs connectivity averages over, i < j.
+
+    All pairs when there are at most ``pair_cap``; otherwise a seeded
+    sample (default seed derived from ``count``, so the same graph order
+    always draws the same pairs).  Both the object-walk path and the
+    columnar kernels in :mod:`repro.features.topology` route through
+    this one function — sharing the rng stream *and* the enumeration
+    order is what keeps their f20 values bit-identical.
+    """
+    if count < 2:
+        return []
+    pairs = [(a, b) for a in range(count) for b in range(a + 1, count)]
+    if len(pairs) <= pair_cap:
+        return pairs
+    if seed is None:
+        seed = count * 2654435761 % (2**32)
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(pairs), size=pair_cap, replace=False)
+    return [pairs[int(i)] for i in chosen]
+
+
 def average_node_connectivity_sampled(
-    graph: nx.Graph, pair_cap: int = _CONNECTIVITY_PAIR_CAP
+    graph: nx.Graph,
+    pair_cap: int = _CONNECTIVITY_PAIR_CAP,
+    seed: int | None = None,
 ) -> float:
     """Average local node connectivity over (a sample of) node pairs.
 
     Exact for graphs whose pair count is below ``pair_cap``; otherwise a
-    deterministic sample of pairs is used (seeded from the graph order so
-    the same WCG always yields the same value).
+    deterministic sample of pairs is used — seeded from the graph order
+    by default, or from an explicit ``seed`` for reproducible runs.
 
     The auxiliary flow network and residual network are built once and
     reused across all pairs — the naive per-pair rebuild dominates WCG
@@ -63,11 +92,10 @@ def average_node_connectivity_sampled(
     count = len(nodes)
     if count < 2:
         return 0.0
-    pairs = [(a, b) for i, a in enumerate(nodes) for b in nodes[i + 1:]]
-    if len(pairs) > pair_cap:
-        rng = np.random.default_rng(count * 2654435761 % (2**32))
-        chosen = rng.choice(len(pairs), size=pair_cap, replace=False)
-        pairs = [pairs[int(i)] for i in chosen]
+    pairs = [
+        (nodes[a], nodes[b])
+        for a, b in sample_connectivity_pairs(count, pair_cap, seed)
+    ]
     auxiliary = build_auxiliary_node_connectivity(graph)
     residual = build_residual_network(auxiliary, "capacity")
     total = 0.0

@@ -26,10 +26,11 @@ exact fleet quantiles would need the raw samples).
 from __future__ import annotations
 
 import multiprocessing as mp
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from repro.detection.alerts import Alert
+from repro.detection.live import WatchSnapshot
 from repro.net.pcap import PcapPacket
 from repro.parallel import resolve_n_jobs
 from repro.service.sharding import PacketRouter
@@ -41,7 +42,7 @@ from repro.service.worker import (
 )
 
 __all__ = ["FleetResult", "ShardedDetectionService", "merge_alerts",
-           "merge_snapshots"]
+           "merge_snapshots", "merge_watch_snapshots"]
 
 #: Packets buffered per shard before a batch crosses the queue; large
 #: enough to amortize pickling, small enough to keep workers busy.
@@ -65,6 +66,9 @@ class FleetResult:
     shards: list[ShardResult]
     snapshot: dict[str, Any]
     packets_routed: int
+    #: Merged pre-finalize watch summaries (``EngineSpec.
+    #: snapshot_watches`` on), canonical ``(client, key)`` order.
+    watches: list[WatchSnapshot] = field(default_factory=list)
 
     @property
     def transactions(self) -> int:
@@ -90,6 +94,22 @@ def merge_alerts(shard_alerts: Iterable[ShardAlert]) -> list[Alert]:
         key=lambda sa: (sa.alert.timestamp, sa.shard_id, sa.seq),
     )
     return [sa.alert for sa in ordered]
+
+
+def merge_watch_snapshots(
+    shard_watches: Iterable[list[WatchSnapshot]],
+) -> list[WatchSnapshot]:
+    """Fleet watch view: concatenate and re-sort by ``(client, key)``.
+
+    Client affinity means each watch lives on exactly one shard, so the
+    merged list is a disjoint union; the canonical sort makes it
+    identical for any worker count (the sharded differential compares
+    it against the single-process engine's
+    :meth:`~repro.detection.live.DetectionEngine.snapshot_watches`).
+    """
+    merged = [snap for watches in shard_watches for snap in watches]
+    merged.sort(key=lambda s: (s.client, s.key))
+    return merged
 
 
 def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
@@ -231,6 +251,7 @@ class ShardedDetectionService:
             shards=results,
             snapshot=snapshot,
             packets_routed=self.packets_routed,
+            watches=merge_watch_snapshots(r.watches for r in results),
         )
 
     def close(self) -> None:

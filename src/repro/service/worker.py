@@ -22,7 +22,7 @@ from typing import Any, Iterable
 from repro.detection.alerts import Alert
 from repro.detection.clues import CluePolicy
 from repro.detection.detector import DetectorConfig, OnTheWireDetector
-from repro.detection.live import DetectionEngine, OverloadPolicy
+from repro.detection.live import DetectionEngine, OverloadPolicy, WatchSnapshot
 from repro.learning.forest import EnsembleRandomForest
 from repro.net.flows import AddressBook
 from repro.net.pcap import LINKTYPE_ETHERNET, PcapPacket
@@ -52,6 +52,12 @@ class EngineSpec:
     #: matching the process-wide registry convention where telemetry is
     #: opt-in and a disabled registry is a true no-op.
     metrics: bool = False
+    #: Capture per-watch :class:`~repro.detection.live.WatchSnapshot`
+    #: summaries (taken after the packet stream drains, before
+    #: finalization terminates the watches).  Off by default — the
+    #: summaries are cheap column slices, but most callers only want
+    #: alerts.
+    snapshot_watches: bool = False
 
     def build_engine(self) -> DetectionEngine:
         return DetectionEngine(
@@ -94,6 +100,9 @@ class ShardResult:
     watches_opened: int = 0
     #: Registry snapshot (``EngineSpec.metrics`` on) or the null shape.
     snapshot: dict[str, Any] = field(default_factory=dict)
+    #: Pre-finalize live-watch summaries (``EngineSpec.snapshot_watches``
+    #: on), already in canonical ``(client, key)`` order.
+    watches: list[WatchSnapshot] = field(default_factory=list)
     #: Traceback text if the shard died; the coordinator re-raises.
     error: str | None = None
 
@@ -116,6 +125,8 @@ def run_shard(spec: EngineSpec, shard_id: int,
                 result.alerts.append(
                     ShardAlert(shard_id, len(result.alerts), alert)
                 )
+        if spec.snapshot_watches:
+            result.watches = engine.snapshot_watches()
         for alert in engine.finish():
             result.alerts.append(
                 ShardAlert(shard_id, len(result.alerts), alert)
@@ -154,6 +165,8 @@ def shard_worker(spec: EngineSpec, shard_id: int, inbox: Any,
                         result.alerts.append(
                             ShardAlert(shard_id, len(result.alerts), alert)
                         )
+            if spec.snapshot_watches:
+                result.watches = engine.snapshot_watches()
             for alert in engine.finish():
                 result.alerts.append(
                     ShardAlert(shard_id, len(result.alerts), alert)

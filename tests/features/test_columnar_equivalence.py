@@ -1,0 +1,194 @@
+"""Columnar extraction differentials (DESIGN.md §14).
+
+Three byte-identity properties over the same corpus-derived streams the
+live/batch differential uses:
+
+* **engine parity** — the fast structural topology kernels
+  (``REPRO_TOPOLOGY_ENGINE=fast``) equal the networkx object walk
+  (``object``) on every construction prefix, in-order and shuffled;
+* **batch parity** — ``extract_batch`` / ``extract_matrix_batch`` rows
+  equal per-graph ``extract`` rows, bit for bit;
+* **pair-sample sharing** — the connectivity pair sample is one seeded
+  stream shared by both paths, and an explicit seed reproduces it.
+
+Plus bounding regressions: the structural topology LRU must hold at
+most its configured entry count no matter how many distinct graphs a
+long-running extractor sees.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.builder import WCGBuilder, build_wcg
+from repro.features.extractor import (
+    FeatureExtractor,
+    extract_matrix_batch,
+)
+from repro.features.graph import (
+    average_node_connectivity_sampled,
+    sample_connectivity_pairs,
+)
+from repro.synthesis.corpus import ground_truth_corpus
+
+_PREFIX_CAP = 24  # transactions per stream (keeps the O(n^2) walk fast)
+
+
+def _streams():
+    corpus = ground_truth_corpus(seed=131, scale=0.02)
+    picked = corpus.infections[:3] + corpus.benign[:3]
+    rng = random.Random(53)
+    streams = []
+    for trace in picked:
+        txns = list(trace.transactions)[:_PREFIX_CAP]
+        streams.append(("in-order", sorted(txns, key=lambda t: t.timestamp)))
+        shuffled = list(txns)
+        rng.shuffle(shuffled)
+        streams.append(("shuffled", shuffled))
+    return streams
+
+
+@pytest.mark.parametrize(
+    "label, txns", _streams(),
+    ids=lambda value: value if isinstance(value, str) else "",
+)
+def test_fast_engine_matches_object_walk_per_prefix(label, txns):
+    """The structural kernels equal the networkx reference after every
+    construction prefix — including out-of-order replays."""
+    builder = WCGBuilder()
+    fast = FeatureExtractor(topology_engine="fast")
+    for count in range(1, len(txns) + 1):
+        builder.add(txns[count - 1])
+        live = builder.build()
+        fast_vector = fast.extract(live)
+        object_vector = FeatureExtractor(topology_engine="object").extract(
+            build_wcg(txns[:count])
+        )
+        assert fast_vector.tobytes() == object_vector.tobytes(), (
+            f"engine divergence after prefix of {count} ({label}): "
+            f"{fast_vector - object_vector}"
+        )
+
+
+def _corpus_graphs(scale=0.05, seed=173):
+    corpus = ground_truth_corpus(seed=seed, scale=scale)
+    return [build_wcg(trace) for trace in corpus.traces]
+
+
+class TestBatchParity:
+    def test_batch_rows_equal_scalar_rows(self):
+        graphs = _corpus_graphs()
+        matrix = FeatureExtractor().extract_batch(graphs)
+        reference = np.vstack(
+            [FeatureExtractor().extract(wcg) for wcg in graphs]
+        )
+        assert matrix.shape == reference.shape
+        assert matrix.tobytes() == reference.tobytes()
+
+    def test_module_level_batch_matches(self):
+        graphs = _corpus_graphs(scale=0.02)
+        assert np.array_equal(
+            extract_matrix_batch(graphs),
+            np.vstack([FeatureExtractor().extract(g) for g in graphs]),
+        )
+
+    def test_batch_serves_and_fills_the_vector_cache(self):
+        graphs = _corpus_graphs(scale=0.02)
+        extractor = FeatureExtractor()
+        first = extractor.extract_batch(graphs)
+        # Second pass: every row comes from the per-graph cache.
+        second = extractor.extract_batch(graphs)
+        assert first.tobytes() == second.tobytes()
+        # And scalar extraction reuses the rows the batch cached.
+        row = extractor.extract(graphs[0])
+        assert row.tobytes() == first[0].tobytes()
+
+    def test_empty_batch(self):
+        matrix = FeatureExtractor().extract_batch([])
+        assert matrix.shape == (0, 37)
+
+
+class TestPairSampling:
+    def test_explicit_seed_is_deterministic(self):
+        assert (sample_connectivity_pairs(40, pair_cap=50, seed=7)
+                == sample_connectivity_pairs(40, pair_cap=50, seed=7))
+        assert (sample_connectivity_pairs(40, pair_cap=50, seed=7)
+                != sample_connectivity_pairs(40, pair_cap=50, seed=8))
+
+    def test_default_seed_derives_from_count(self):
+        # The order-derived default is what both extraction paths share.
+        assert (sample_connectivity_pairs(40, pair_cap=50)
+                == sample_connectivity_pairs(
+                    40, pair_cap=50, seed=40 * 2654435761 % (2**32)))
+
+    def test_small_graphs_enumerate_every_pair(self):
+        assert sample_connectivity_pairs(4) == [
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)
+        ]
+        assert sample_connectivity_pairs(1) == []
+
+    def test_connectivity_accepts_explicit_seed(self):
+        import networkx as nx
+        graph = nx.gnm_random_graph(30, 70, seed=3)
+        a = average_node_connectivity_sampled(graph, pair_cap=20, seed=5)
+        b = average_node_connectivity_sampled(graph, pair_cap=20, seed=5)
+        assert a == b
+
+
+class TestStructuralCacheBounds:
+    def test_lru_never_exceeds_its_cap(self):
+        extractor = FeatureExtractor(structure_cache_size=8)
+        graphs = _corpus_graphs(scale=0.03)
+        assert len(graphs) > 8
+        for wcg in graphs:
+            extractor.extract(wcg)
+            assert extractor.structure_cache_len <= 8
+        # Eviction must not corrupt results: re-extraction of an
+        # already-seen (possibly evicted) structure still matches a
+        # fresh extractor bit for bit.
+        for wcg in graphs[:4]:
+            wcg.dnt = not wcg.dnt  # force a vector recompute
+            assert np.array_equal(
+                extractor.extract(wcg), FeatureExtractor().extract(wcg)
+            )
+
+    def test_shared_structures_hit_across_graphs(self):
+        from repro.obs import MetricsRegistry, use_registry
+        from tests.conftest import make_txn
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            extractor = FeatureExtractor()
+            # Two distinct graph objects, same conversation shape.
+            extractor.extract(build_wcg([make_txn(ts=1.0)]))
+            extractor.extract(build_wcg([make_txn(ts=2.0)]))
+        counters = registry.snapshot()["counters"]
+        assert counters["features.topology_cache_misses"] == 1
+        assert counters["features.topology_cache_hits"] == 1
+
+    def test_unknown_engine_rejected(self):
+        from repro.exceptions import FeatureError
+        with pytest.raises(FeatureError):
+            FeatureExtractor(topology_engine="quantum")
+
+
+class TestBatchCounters:
+    def test_batch_counters_track_rows(self):
+        from repro.obs import MetricsRegistry, use_registry
+
+        graphs = _corpus_graphs(scale=0.02)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            extractor = FeatureExtractor()
+            extractor.extract_batch(graphs)
+            extractor.extract_batch(graphs[:3])
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["features.batch_extracts"] == 2
+        assert counters["features.batch_rows"] == len(graphs) + 3
+        # The extraction-latency histogram feeds PipelineStatsReporter.
+        assert snapshot["histograms"]["span.features.extract_batch"][
+            "count"] == 2
