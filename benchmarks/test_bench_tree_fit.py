@@ -1,0 +1,124 @@
+"""Tree-fit bench: presorted-partition engine vs the legacy grower.
+
+Fits the paper's 20-tree ensemble on the **table1-scale** training
+matrix (full ground-truth corpus plus clue-time prefixes — the fit
+scale is pinned to 1.0 even under CI's shrunken ``REPRO_SCALE``, since
+the corpus build costs only seconds) with both training engines, single
+process, and asserts two contracts in the same run:
+
+* **speedup** — the presort engine fits at least 5x faster than the
+  legacy grower at ``max_features=None`` (every split scans every
+  column, isolating the split-scan kernel the engine replaces).  The
+  paper-default ``log2(F)+1`` subsampling is timed and reported
+  alongside without a floor: per-node ``rng.choice`` draws — which the
+  byte-identity contract forbids amortizing — dominate its profile.
+* **identity** — speed must not buy drift: for both configurations the
+  two engines' forests serialize to byte-equal model-format-v2
+  payloads.
+
+Timings are best-of-``BENCH_ROUNDS`` per engine; results land in
+``benchmarks/out/BENCH_tree_fit.json`` (uploaded by CI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+from repro.detection.training import training_matrix
+from repro.learning.forest import EnsembleRandomForest, default_max_features
+from repro.learning.persistence import forest_to_dict
+from repro.synthesis.corpus import ground_truth_corpus
+
+ROUNDS = max(1, int(os.environ.get("BENCH_ROUNDS", "3")))
+
+#: The engines are compared on the paper-sized matrix regardless of the
+#: CI smoke scale — the corpus + matrix build is cheap (~15 s) and a
+#: toy matrix would measure dispatch overhead, not the split scan.
+FIT_SCALE = max(BENCH_SCALE, 1.0)
+
+N_TREES = 20
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    corpus = ground_truth_corpus(seed=BENCH_SEED, scale=FIT_SCALE)
+    n_jobs = max(2, min(4, os.cpu_count() or 1))
+    return training_matrix(corpus.traces, augment_prefixes=True,
+                           n_jobs=n_jobs)
+
+
+def _fit(X, y, engine, max_features):
+    forest = EnsembleRandomForest(
+        n_trees=N_TREES,
+        max_features=max_features,
+        random_state=BENCH_SEED,
+        tree_engine=engine,
+    )
+    forest.fit(X, y)
+    return forest
+
+
+def _best_of(X, y, engine, max_features):
+    best = float("inf")
+    forest = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        forest = _fit(X, y, engine, max_features)
+        best = min(best, time.perf_counter() - started)
+    return best, forest
+
+
+def test_bench_tree_fit(matrix, artifact_dir):
+    X, y = matrix
+    n_features = X.shape[1]
+    paper_mf = default_max_features(n_features)
+    # ``max_features == n_features`` scans every column with zero RNG
+    # draws; the forest maps ``None`` to the paper's log2(F)+1 rule.
+    configs = [("all_features", n_features), ("paper_subsample", paper_mf)]
+
+    sections = {}
+    for name, max_features in configs:
+        legacy_s, legacy_forest = _best_of(X, y, "legacy", max_features)
+        presort_s, presort_forest = _best_of(X, y, "presort", max_features)
+
+        identical = forest_to_dict(legacy_forest) == forest_to_dict(
+            presort_forest
+        )
+        assert identical, f"{name}: engines grew different forests"
+
+        speedup = legacy_s / presort_s
+        sections[name] = {
+            "max_features": max_features,
+            "legacy_seconds": legacy_s,
+            "presort_seconds": presort_s,
+            "speedup": speedup,
+            "identical": identical,
+        }
+        print(f"\n{name} (max_features={max_features}): "
+              f"legacy {legacy_s * 1e3:.0f} ms, "
+              f"presort {presort_s * 1e3:.0f} ms -> {speedup:.2f}x, "
+              f"byte-identical forests")
+
+    assert sections["all_features"]["speedup"] >= 5.0, (
+        "expected the presort engine >= 5x over legacy at "
+        f"max_features=None, got "
+        f"{sections['all_features']['speedup']:.2f}x"
+    )
+
+    path = artifact_dir / "BENCH_tree_fit.json"
+    path.write_text(json.dumps({
+        "schema": "bench.tree_fit.v1",
+        "seed": BENCH_SEED,
+        "fit_scale": FIT_SCALE,
+        "rows": int(X.shape[0]),
+        "features": int(X.shape[1]),
+        "n_trees": N_TREES,
+        "rounds": ROUNDS,
+        **sections,
+    }, indent=2) + "\n")
+    print(f"[saved to {path}]")

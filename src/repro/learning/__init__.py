@@ -27,10 +27,16 @@ from repro.learning.persistence import (
     load_forest,
     save_forest,
 )
+from repro.learning.grower import (
+    ColumnRanks,
+    compute_column_ranks,
+    grow_tree_presorted,
+)
 from repro.learning.ranking import RankedFeature, gain_ratio, rank_features
-from repro.learning.tree import DecisionTreeClassifier
+from repro.learning.tree import DecisionTreeClassifier, default_tree_engine
 
 __all__ = [
+    "ColumnRanks",
     "CompiledForest",
     "ConfusionMatrix",
     "CrossValResult",
@@ -40,10 +46,13 @@ __all__ = [
     "RankedFeature",
     "auc",
     "compile_forest",
+    "compute_column_ranks",
     "confusion",
     "cross_validate",
     "default_engine",
     "default_max_features",
+    "default_tree_engine",
+    "grow_tree_presorted",
     "evaluate_scores",
     "forest_from_dict",
     "forest_to_dict",

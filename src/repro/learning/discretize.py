@@ -79,7 +79,14 @@ def _mdl_accepts(sorted_y: np.ndarray, cut: int, gain: float,
 
 
 def mdl_cut_points(column: np.ndarray, y: np.ndarray) -> list[float]:
-    """Recursive MDL discretization; returns sorted cut thresholds."""
+    """Recursive-partition MDL discretization; sorted cut thresholds.
+
+    The partition runs on an explicit work stack rather than Python
+    recursion (popping left-segment first keeps the original preorder
+    cut sequence), so adversarial columns accepting thousands of nested
+    cuts cannot hit the interpreter recursion limit — consistent with
+    the tree growers, which are iterative for the same reason.
+    """
     column = np.asarray(column, dtype=np.float64)
     y = np.asarray(y)
     classes, encoded = np.unique(y, return_inverse=True)
@@ -89,23 +96,23 @@ def mdl_cut_points(column: np.ndarray, y: np.ndarray) -> list[float]:
     sorted_y = encoded[order]
     cuts: list[float] = []
 
-    def _recurse(lo: int, hi: int) -> None:
+    stack: list[tuple[int, int]] = [(0, len(sorted_y))]
+    while stack:
+        lo, hi = stack.pop()
         segment_col = sorted_col[lo:hi]
         segment_y = sorted_y[lo:hi]
         if len(segment_y) < 4 or len(np.unique(segment_y)) < 2:
-            return
+            continue
         found = _best_cut(segment_col, segment_y, n_classes)
         if found is None:
-            return
+            continue
         cut, gain = found
         if not _mdl_accepts(segment_y, cut, gain, n_classes):
-            return
+            continue
         threshold = (segment_col[cut] + segment_col[cut + 1]) / 2.0
         cuts.append(float(threshold))
-        _recurse(lo, lo + cut + 1)
-        _recurse(lo + cut + 1, hi)
-
-    _recurse(0, len(sorted_y))
+        stack.append((lo + cut + 1, hi))
+        stack.append((lo, lo + cut + 1))
     return sorted(cuts)
 
 

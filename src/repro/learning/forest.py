@@ -15,7 +15,11 @@ import os
 import numpy as np
 
 from repro.exceptions import LearningError, NotFittedError
-from repro.learning.tree import DecisionTreeClassifier
+from repro.learning.tree import (
+    _TREE_ENGINES,
+    DecisionTreeClassifier,
+    default_tree_engine,
+)
 from repro.obs import get_registry
 from repro.parallel import parallel_map
 
@@ -41,37 +45,79 @@ def default_max_features(n_features: int) -> int:
     return max(1, int(math.log2(max(2, n_features))) + 1)
 
 
-def _bootstrap_sample(
-    X: np.ndarray, y: np.ndarray, n_classes: int, seed: int
-) -> tuple[np.ndarray, np.ndarray]:
+def _bootstrap_indices(y: np.ndarray, n_classes: int, seed: int) -> np.ndarray:
+    """Bootstrap row indices, resampled until every class is present.
+
+    A bootstrap may drop a class entirely on tiny datasets; the retry
+    loop draws the exact sequence the original sampler drew, so the
+    accepted sample — and every tree grown from it — is unchanged.
+    """
     rng = np.random.default_rng(seed)
     n_samples = len(y)
     sample = rng.integers(0, n_samples, size=n_samples)
-    Xb, yb = X[sample], y[sample]
-    # Guard: a bootstrap may drop a class entirely on tiny datasets;
-    # resample until both classes are present.
     attempts = 0
-    while len(np.unique(yb)) < n_classes and attempts < 32:
+    while len(np.unique(y[sample])) < n_classes and attempts < 32:
         sample = rng.integers(0, n_samples, size=n_samples)
-        Xb, yb = X[sample], y[sample]
         attempts += 1
-    return Xb, yb
+    return sample
+
+
+def _bootstrap_sample(
+    X: np.ndarray, y: np.ndarray, n_classes: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    sample = _bootstrap_indices(y, n_classes, seed)
+    return X[sample], y[sample]
+
+
+#: Per-worker fit context installed by :func:`_init_fit_context`.  The
+#: training matrix (and its presorted rank codes) cross the process
+#: pool once per worker through the pool initializer instead of being
+#: pickled into every per-tree job.
+_FIT_CONTEXT: tuple | None = None
+
+
+def _init_fit_context(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    params: dict,
+    bootstrap: bool,
+    tree_engine: str,
+    ranks,
+) -> None:
+    global _FIT_CONTEXT
+    _FIT_CONTEXT = (X, y, n_classes, params, bootstrap, tree_engine, ranks)
+
+
+def _clear_fit_context() -> None:
+    global _FIT_CONTEXT
+    _FIT_CONTEXT = None
 
 
 def _fit_tree(job: tuple) -> DecisionTreeClassifier:
     """Pool worker: bootstrap-sample and fit one tree.
 
-    Every random input (the bootstrap seed and the tree's split seed) is
-    pre-drawn by :meth:`EnsembleRandomForest.fit` and carried in the job
-    tuple, so the result depends only on the job — never on which worker
-    runs it or in what order.
+    The shared inputs live in the worker's :data:`_FIT_CONTEXT`; the job
+    carries only this tree's pre-drawn seeds, so the result depends only
+    on the job — never on which worker runs it or in what order — and
+    the matrix is never serialized per tree.
     """
-    X, y, n_classes, params, bootstrap, bootstrap_seed, tree_seed = job
+    bootstrap_seed, tree_seed = job
+    X, y, n_classes, params, bootstrap, tree_engine, ranks = _FIT_CONTEXT
     if bootstrap:
-        Xb, yb = _bootstrap_sample(X, y, n_classes, bootstrap_seed)
+        sample = _bootstrap_indices(y, n_classes, bootstrap_seed)
+        Xb, yb = X[sample], y[sample]
+        if ranks is not None:
+            # The rank codes are row-aligned with X: the bootstrap
+            # restriction is a column gather, far cheaper than the
+            # per-column argsorts they replace.
+            ranks = ranks._replace(codes=ranks.codes[:, sample])
     else:
         Xb, yb = X, y
-    return DecisionTreeClassifier(random_state=tree_seed, **params).fit(Xb, yb)
+    tree = DecisionTreeClassifier(
+        random_state=tree_seed, engine=tree_engine, **params
+    )
+    return tree.fit(Xb, yb, column_ranks=ranks)
 
 
 class EnsembleRandomForest:
@@ -94,6 +140,12 @@ class EnsembleRandomForest:
             :func:`default_engine`.  Output is byte-identical either
             way; the compiled arena is rebuilt automatically on
             :meth:`fit` and on load.
+        tree_engine: training engine for each tree — ``"presort"``
+            (presorted-partition growth, the default) or ``"legacy"``;
+            ``None`` reads
+            :func:`repro.learning.tree.default_tree_engine`.  Both grow
+            byte-identical trees; with ``"presort"`` the forest
+            presorts the matrix once and every bootstrap reuses it.
     """
 
     def __init__(
@@ -109,6 +161,7 @@ class EnsembleRandomForest:
         random_state: int | None = None,
         n_jobs: int | None = None,
         engine: str | None = None,
+        tree_engine: str | None = None,
     ):
         if n_trees < 1:
             raise LearningError("n_trees must be >= 1")
@@ -118,6 +171,10 @@ class EnsembleRandomForest:
             engine = default_engine()
         if engine not in _ENGINES:
             raise LearningError(f"unknown inference engine {engine!r}")
+        if tree_engine is None:
+            tree_engine = default_tree_engine()
+        if tree_engine not in _TREE_ENGINES:
+            raise LearningError(f"unknown tree engine {tree_engine!r}")
         self.n_trees = n_trees
         self.max_features = max_features
         self.max_depth = max_depth
@@ -129,6 +186,7 @@ class EnsembleRandomForest:
         self.random_state = random_state
         self.n_jobs = n_jobs
         self.engine = engine
+        self.tree_engine = tree_engine
         self.trees_: list[DecisionTreeClassifier] = []
         self._classes: np.ndarray | None = None
         #: Compiled struct-of-arrays arena (repro.learning.compiled);
@@ -172,13 +230,30 @@ class EnsembleRandomForest:
             "max_features": k,
             "criterion": self.criterion,
         }
+        ranks = None
+        if self.tree_engine == "presort":
+            # Presort the matrix once; every bootstrap restricts the
+            # rank codes by a column gather inside the worker.
+            from repro.learning.grower import compute_column_ranks
+
+            ranks = compute_column_ranks(X)
         jobs = [
-            (X, y, len(self._classes), params, self.bootstrap,
-             int(seeds[index, 0]), int(seeds[index, 1]))
+            (int(seeds[index, 0]), int(seeds[index, 1]))
             for index in range(self.n_trees)
         ]
         effective = n_jobs if n_jobs is not None else self.n_jobs
-        self.trees_ = parallel_map(_fit_tree, jobs, n_jobs=effective)
+        try:
+            self.trees_ = parallel_map(
+                _fit_tree,
+                jobs,
+                n_jobs=effective,
+                initializer=_init_fit_context,
+                initargs=(X, y, len(self._classes), params,
+                          self.bootstrap, self.tree_engine, ranks),
+            )
+        finally:
+            # The serial path installs the context in this process.
+            _clear_fit_context()
         # Refit invalidates the previous arena and column cache.
         self._tree_cols = None
         self._compiled = None
@@ -240,6 +315,11 @@ class EnsembleRandomForest:
         state["_compiled"] = None
         state["_tree_cols"] = None
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Forests pickled before the training-engine knob existed.
+        self.__dict__.setdefault("tree_engine", default_tree_engine())
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Class-probability matrix.

@@ -9,13 +9,40 @@ rather than majority-voting (Section V-A).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import LearningError, NotFittedError
 
-__all__ = ["DecisionTreeClassifier", "flatten_nodes", "unflatten_nodes"]
+if TYPE_CHECKING:  # grower imports from this module; keep one-way at runtime
+    from repro.learning.grower import ColumnRanks
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "default_tree_engine",
+    "flatten_nodes",
+    "unflatten_nodes",
+]
+
+_TREE_ENGINES = ("presort", "legacy")
+
+
+def default_tree_engine() -> str:
+    """Training engine used when the constructor is not told otherwise.
+
+    ``"presort"`` (the default) grows trees through the
+    presorted-partition engine of :mod:`repro.learning.grower` — each
+    feature column argsorted once (per tree, or per forest) into rank
+    codes, per-node order recovered by linear-time radix passes;
+    ``"legacy"`` keeps the original per-node argsort grower.  Both grow
+    **byte-identical** trees — the env override (``REPRO_TREE_ENGINE``)
+    exists for A/B benchmarking and as a fallback escape hatch, not
+    behaviour.
+    """
+    return os.environ.get("REPRO_TREE_ENGINE", "presort")
 
 
 @dataclass
@@ -111,6 +138,10 @@ class DecisionTreeClassifier:
         max_features: features examined per split (``None`` = all).
         criterion: ``"gini"`` or ``"entropy"``.
         random_state: seed for the per-split feature subsampling.
+        engine: ``"presort"`` (presorted-partition growth, the default)
+            or ``"legacy"`` (per-node argsort); ``None`` reads
+            :func:`default_tree_engine`.  The grown tree is
+            byte-identical either way.
     """
 
     def __init__(
@@ -121,9 +152,15 @@ class DecisionTreeClassifier:
         max_features: int | None = None,
         criterion: str = "gini",
         random_state: int | None = None,
+        engine: str | None = None,
     ):
         if criterion not in _CRITERIA:
             raise LearningError(f"unknown criterion {criterion!r}")
+        if engine is None:
+            engine = default_tree_engine()
+        if engine not in _TREE_ENGINES:
+            raise LearningError(f"unknown tree engine {engine!r}")
+        self.engine = engine
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
@@ -137,8 +174,22 @@ class DecisionTreeClassifier:
 
     # -- fitting -----------------------------------------------------------
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
-        """Grow the tree on ``(X, y)``; returns self."""
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        column_ranks: "ColumnRanks | None" = None,
+    ) -> "DecisionTreeClassifier":
+        """Grow the tree on ``(X, y)``; returns self.
+
+        ``column_ranks`` optionally supplies a precomputed
+        :class:`repro.learning.grower.ColumnRanks` whose codes align
+        with ``X``'s rows, letting a caller fitting many trees on
+        bootstraps of one matrix (the forest) pay the per-column float
+        argsort once instead of per tree.  The legacy engine ignores it
+        (it derives nothing from presorted structure).
+        """
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y)
         if X.ndim != 2:
@@ -154,7 +205,25 @@ class DecisionTreeClassifier:
         self.n_features_ = X.shape[1]
         self._impurity = _CRITERIA[self.criterion]
         self._rng = np.random.default_rng(self.random_state)
-        self._root = self._grow(X, encoded, depth=0)
+        if self.engine == "presort":
+            # Imported here: grower imports _Node/_CRITERIA from this
+            # module, so the dependency must stay one-way at import time.
+            from repro.learning.grower import grow_tree_presorted
+
+            self._root = grow_tree_presorted(
+                X,
+                encoded,
+                self._n_classes,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                criterion=self.criterion,
+                rng=self._rng,
+                column_ranks=column_ranks,
+            )
+        else:
+            self._root = self._grow(X, encoded, depth=0)
         return self
 
     def _leaf_proba(self, y: np.ndarray) -> np.ndarray:
@@ -162,13 +231,18 @@ class DecisionTreeClassifier:
         return counts / counts.sum()
 
     def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
-        """Grow a (sub)tree with an explicit work stack.
+        """Grow a (sub)tree with an explicit work stack (legacy engine).
 
         Iterative rather than recursive so the default ``max_depth=None``
         can grow trees deeper than the interpreter recursion limit.  The
         stack pops in the recursive preorder (node, left subtree, right
         subtree), so the per-split RNG draws — and hence the grown tree —
         are identical to what the recursive formulation produced.
+
+        This is the reference grower the presorted-partition engine
+        (:mod:`repro.learning.grower`, the default) is differentially
+        tested against; its arithmetic is the byte-identity contract and
+        must not drift.
         """
         root = _Node()
         stack: list[tuple[np.ndarray, np.ndarray, int, _Node]] = [

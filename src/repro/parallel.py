@@ -43,17 +43,30 @@ def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     n_jobs: int | None = None,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> list[_R]:
     """Ordered ``[fn(item) for item in items]`` over a process pool.
 
     Falls back to an in-process loop when the effective worker count or
     the item count is 1, so ``n_jobs=1`` never pays pool overhead and
     never requires picklability.
+
+    ``initializer(*initargs)`` installs shared per-worker state — large
+    arrays every item needs cross the pool **once per worker** instead
+    of once per item.  On the serial path it runs in-process before the
+    loop; callers owning module-global state should reset it afterwards
+    (the pool's worker processes die with the pool, the serial process
+    does not).
     """
     items = list(items)
     workers = min(resolve_n_jobs(n_jobs), len(items))
     if workers <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(item) for item in items]
     chunksize = max(1, len(items) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    ) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))

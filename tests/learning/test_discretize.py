@@ -106,3 +106,31 @@ class TestRankingCriteria:
         names = [f"f{i}" for i in range(X.shape[1])]
         with pytest.raises(ValueError, match="unknown criterion"):
             rank_features(X, y, names, k=5, criterion="magic")
+
+
+class TestDeepPartition:
+    def test_nested_cuts_past_recursion_limit(self):
+        """The work-stack partition survives deeply nested accepted cuts.
+
+        Equal-width alternating-label blocks force MDL to peel one pure
+        block per cut, nesting ``n_blocks`` partitions along one side —
+        far past a recursive implementation's depth budget (proved by
+        temporarily lowering the interpreter limit below the nesting).
+        """
+        import sys
+
+        block, n_blocks = 16, 150
+        n = block * n_blocks
+        column = np.arange(n, dtype=np.float64)
+        y = (np.arange(n) // block) % 2
+        old_limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(90)
+            cuts = mdl_cut_points(column, y)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        assert len(cuts) == n_blocks - 1
+        assert cuts == sorted(cuts)
+        bins = discretize(column, cuts)
+        for i in range(n_blocks):
+            assert len(set(bins[i * block:(i + 1) * block])) == 1

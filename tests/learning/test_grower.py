@@ -1,0 +1,256 @@
+"""Differential suite for the presorted-partition training engine.
+
+The presort engine must grow trees **byte-identical** to the legacy
+recursive-partition grower — same structure, same split features, same
+threshold bits, same leaf posterior bits — for every configuration and
+any ``n_jobs``.  These tests pin that contract, plus the kernel helpers
+the engine and the ranking fast path share.
+"""
+
+import os
+import pickle
+import sys
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LearningError
+from repro.learning.forest import EnsembleRandomForest
+from repro.learning.grower import (
+    ColumnRanks,
+    class_cumulative_counts,
+    compute_column_ranks,
+    grow_tree_presorted,
+    presort_columns,
+    restrict_sorted,
+)
+from repro.learning.persistence import forest_from_dict, forest_to_dict
+from repro.learning.tree import DecisionTreeClassifier, default_tree_engine
+
+
+def _tree_sig(node):
+    """Recursive byte-level signature of a fitted tree."""
+    if node.proba is not None:
+        return ("leaf", node.proba.tobytes())
+    return (
+        "split",
+        node.feature,
+        np.float64(node.threshold).tobytes(),
+        _tree_sig(node.left),
+        _tree_sig(node.right),
+    )
+
+
+def _tree_sig_iter(root):
+    """Iterative signature for trees deeper than the recursion limit."""
+    out = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.proba is not None:
+            out.append(("leaf", node.proba.tobytes()))
+        else:
+            out.append(
+                ("split", node.feature, np.float64(node.threshold).tobytes())
+            )
+            stack.append(node.right)
+            stack.append(node.left)
+    return out
+
+
+def _mixed_data(seed, n_classes=2):
+    """Continuous + heavily tied columns, plus duplicate and constant."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(30, 200))
+    Xc = rng.normal(size=(n, 2))
+    Xd = rng.integers(0, 4, size=(n, 2)).astype(np.float64)
+    X = np.hstack([Xc, Xd, Xc[:, :1], np.full((n, 1), 3.0)])
+    y = rng.integers(0, n_classes, size=n)
+    y[:n_classes] = np.arange(n_classes)
+    return X, y
+
+
+class TestKernels:
+    def test_column_ranks_are_order_isomorphic(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 5, size=(40, 6)).astype(np.float64)
+        ranks = compute_column_ranks(X)
+        assert ranks.codes.shape == (6, 40)
+        for j in range(6):
+            col = X[:, j]
+            codes = ranks.codes[j].astype(np.int64)
+            for a in range(40):
+                for b in range(40):
+                    assert (codes[a] < codes[b]) == (col[a] < col[b])
+
+    def test_column_ranks_decode_table(self):
+        rng = np.random.default_rng(1)
+        X = np.round(rng.normal(size=(50, 4)) * 2) / 2
+        ranks = compute_column_ranks(X)
+        for j in range(4):
+            decoded = ranks.values[j][ranks.codes[j].astype(np.intp)]
+            assert np.array_equal(decoded, X[:, j])
+
+    def test_restrict_sorted_matches_direct_argsort_order(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(60, 3))
+        keep = rng.random(60) < 0.5
+        keep[:2] = True
+        sub = restrict_sorted(presort_columns(X), keep)
+        for j in range(3):
+            assert np.array_equal(np.sort(X[sub[:, j], j]), np.sort(X[keep, j]))
+            assert np.all(np.diff(X[sub[:, j], j]) >= 0)
+
+    def test_class_cumulative_counts_matches_onehot_cumsum(self):
+        rng = np.random.default_rng(3)
+        codes = rng.integers(0, 3, size=100)
+        onehot = np.zeros((100, 3))
+        onehot[np.arange(100), codes] = 1.0
+        want = np.cumsum(onehot, axis=0)
+        assert np.array_equal(class_cumulative_counts(codes, 3), want)
+        buf = np.empty((120, 3))
+        assert np.array_equal(class_cumulative_counts(codes, 3, out=buf), want)
+
+    def test_grow_tree_rejects_mismatched_ranks(self):
+        X = np.zeros((10, 2))
+        y = np.array([0, 1] * 5)
+        bad = compute_column_ranks(np.zeros((9, 2)))
+        with pytest.raises(ValueError, match="does not match"):
+            grow_tree_presorted(
+                X, y, 2, max_depth=None, min_samples_split=2,
+                min_samples_leaf=1, max_features=None, criterion="gini",
+                rng=np.random.default_rng(0), column_ranks=bad,
+            )
+
+
+class TestTreeDifferential:
+    @pytest.mark.parametrize("criterion", ["gini", "entropy"])
+    @pytest.mark.parametrize("max_features", [None, 1, "all"])
+    def test_trees_byte_identical(self, criterion, max_features):
+        for seed in range(8):
+            X, y = _mixed_data(seed, n_classes=2 + seed % 2)
+            mf = X.shape[1] if max_features == "all" else max_features
+            kwargs = dict(
+                criterion=criterion, max_features=mf,
+                random_state=seed * 13 + 1,
+            )
+            legacy = DecisionTreeClassifier(engine="legacy", **kwargs).fit(X, y)
+            presort = DecisionTreeClassifier(engine="presort", **kwargs).fit(X, y)
+            assert _tree_sig(legacy._root) == _tree_sig(presort._root)
+            assert np.array_equal(legacy.predict(X), presort.predict(X))
+
+    @pytest.mark.parametrize("min_samples_leaf", [1, 7])
+    @pytest.mark.parametrize("max_depth", [None, 3])
+    def test_trees_byte_identical_under_stopping_rules(
+        self, max_depth, min_samples_leaf
+    ):
+        for seed in range(6):
+            X, y = _mixed_data(seed + 100)
+            kwargs = dict(
+                max_depth=max_depth, min_samples_leaf=min_samples_leaf,
+                max_features=2, random_state=seed,
+            )
+            legacy = DecisionTreeClassifier(engine="legacy", **kwargs).fit(X, y)
+            presort = DecisionTreeClassifier(engine="presort", **kwargs).fit(X, y)
+            assert _tree_sig(legacy._root) == _tree_sig(presort._root)
+
+    def test_deep_tree_past_recursion_limit(self):
+        n = sys.getrecursionlimit() + 50
+        X = np.arange(n, dtype=np.float64).reshape(-1, 1)
+        y = np.arange(n) % 2
+        legacy = DecisionTreeClassifier(engine="legacy").fit(X, y)
+        presort = DecisionTreeClassifier(engine="presort").fit(X, y)
+        assert presort.depth > sys.getrecursionlimit()
+        assert _tree_sig_iter(legacy._root) == _tree_sig_iter(presort._root)
+        assert np.array_equal(presort.predict(X), y)
+
+    def test_shared_ranks_match_per_fit_ranks(self):
+        X, y = _mixed_data(5)
+        ranks = compute_column_ranks(X)
+        a = DecisionTreeClassifier(engine="presort", random_state=3).fit(X, y)
+        b = DecisionTreeClassifier(engine="presort", random_state=3).fit(
+            X, y, column_ranks=ranks
+        )
+        assert _tree_sig(a._root) == _tree_sig(b._root)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(LearningError, match="unknown tree engine"):
+            DecisionTreeClassifier(engine="quicksort")
+        with pytest.raises(LearningError, match="unknown tree engine"):
+            EnsembleRandomForest(tree_engine="quicksort")
+
+    def test_env_knob_selects_engine(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TREE_ENGINE", "legacy")
+        assert default_tree_engine() == "legacy"
+        assert DecisionTreeClassifier().engine == "legacy"
+        assert EnsembleRandomForest().tree_engine == "legacy"
+        monkeypatch.delenv("REPRO_TREE_ENGINE")
+        assert default_tree_engine() == "presort"
+
+
+class TestForestDifferential:
+    @pytest.mark.parametrize("n_jobs", [None, 4])
+    def test_forests_byte_identical_across_engines_and_jobs(self, n_jobs):
+        X, y = _mixed_data(11)
+        forests = {}
+        for engine in ("legacy", "presort"):
+            f = EnsembleRandomForest(
+                n_trees=8, random_state=42, tree_engine=engine
+            )
+            f.fit(X, y, n_jobs=n_jobs)
+            forests[engine] = forest_to_dict(f)
+        assert forests["legacy"] == forests["presort"]
+
+    def test_presort_forest_identical_serial_vs_parallel(self):
+        X, y = _mixed_data(12)
+        serial = EnsembleRandomForest(n_trees=6, random_state=9).fit(X, y)
+        parallel = EnsembleRandomForest(n_trees=6, random_state=9).fit(
+            X, y, n_jobs=4
+        )
+        assert forest_to_dict(serial) == forest_to_dict(parallel)
+
+    def test_pickled_presort_forest_roundtrips_format_v2(self):
+        X, y = _mixed_data(13)
+        forest = EnsembleRandomForest(
+            n_trees=5, random_state=21, tree_engine="presort"
+        ).fit(X, y)
+        payload = forest_to_dict(forest)
+        assert payload["format_version"] == 2
+        revived = pickle.loads(pickle.dumps(forest))
+        assert forest_to_dict(revived) == payload
+        assert forest_to_dict(forest_from_dict(payload)) == payload
+        Xt = _mixed_data(14)[0][:, : X.shape[1]]
+        assert np.array_equal(
+            forest.predict_proba(Xt), revived.predict_proba(Xt)
+        )
+
+    def test_pre_knob_pickle_gains_default_engine(self):
+        X, y = _mixed_data(15)
+        forest = EnsembleRandomForest(n_trees=3, random_state=5).fit(X, y)
+        state = forest.__getstate__() if hasattr(forest, "__getstate__") \
+            else dict(forest.__dict__)
+        state = dict(state)
+        state.pop("tree_engine", None)
+        revived = EnsembleRandomForest.__new__(EnsembleRandomForest)
+        revived.__setstate__(state)
+        assert revived.tree_engine == default_tree_engine()
+
+
+class TestRankingFastPath:
+    def test_fold_ratios_bit_identical_to_gain_ratio(self):
+        from repro.learning.crossval import stratified_kfold
+        from repro.learning.ranking import _fold_gain_ratios, gain_ratio
+
+        rng = np.random.default_rng(17)
+        X = np.round(rng.normal(size=(120, 7)) * 2) / 2
+        X[:, 5] = X[:, 0]
+        X[:, 6] = 1.5
+        y = rng.integers(0, 3, size=120).astype(np.float64)
+        y[:3] = [0, 1, 2]
+        sorted_idx = presort_columns(X)
+        for train_idx, _ in stratified_kfold(y, k=5, seed=1):
+            fast = _fold_gain_ratios(X, sorted_idx, y, train_idx)
+            slow = np.array(
+                [gain_ratio(X[train_idx, j], y[train_idx]) for j in range(7)]
+            )
+            assert np.array_equal(fast, slow)
