@@ -27,7 +27,15 @@ from repro.detection.detector import OnTheWireDetector
 from repro.detection.live import LiveDetector, OverloadPolicy
 from repro.experiments.context import trained_classifier
 from repro.loadgen import HOSTILE, LoadGenerator
-from repro.obs import MetricsRegistry, PipelineStatsReporter, use_registry
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    PipelineStatsReporter,
+    Tracer,
+    use_registry,
+    use_tracer,
+    write_trace,
+)
 
 #: Packets per pass (full scale: 200k mixed, 60k hostile).
 TOTAL_PACKETS = max(4_000, int(200_000 * BENCH_SCALE))
@@ -133,6 +141,65 @@ def test_bench_sustained_throughput(artifact_dir):
     # Memory ceiling: the tap must not retain the stream.  Budget scales
     # with the (bounded) live state, not with packets fed.
     assert peak_bytes < 512 * 2**20
+
+
+def test_bench_tracing_overhead(artifact_dir):
+    """Tracing must observe, not tax: identical workload with the null
+    tracer vs a recording tracer (``"alerts"`` sampling, the deployment
+    mode); the enabled pass may cost a few percent of pkt/s, the
+    disabled pass *is* the baseline (the differential tests prove its
+    outputs byte-identical).  The recorded trace ships as a CI artifact
+    next to the stats JSONL."""
+    classifier = trained_classifier(BENCH_SEED, BENCH_SCALE)
+    packets = TOTAL_PACKETS // 2
+    passes = {}
+    trace_path = artifact_dir / "sustained_trace.jsonl"
+    for label, tracer in (("off", NULL_TRACER),
+                          ("on", Tracer(sample="alerts"))):
+        generator = LoadGenerator(seed=BENCH_SEED, concurrency=8)
+        with use_tracer(tracer):
+            detector = LiveDetector(OnTheWireDetector(classifier),
+                                    book=generator.book)
+            started = time.perf_counter()
+            fed, _, alerts = _drive(
+                detector, generator.packets(limit=packets)
+            )
+            elapsed = time.perf_counter() - started
+        assert fed == packets
+        passes[label] = {
+            "pps": fed / max(elapsed, 1e-9),
+            "alerts": alerts,
+            "events": tracer.event_count,
+        }
+        if tracer.enabled:
+            events = tracer.drain()
+            trace_path.write_text("")  # fresh artifact per run
+            passes[label]["trace_lines"] = write_trace(
+                events, str(trace_path)
+            )
+
+    # Same stream, same verdicts — only the observer changed.
+    assert passes["on"]["alerts"] == passes["off"]["alerts"]
+    assert passes["on"]["alerts"] > 0, "workload never alerted"
+    assert passes["on"]["trace_lines"] > 0
+
+    overhead = passes["off"]["pps"] / max(passes["on"]["pps"], 1e-9) - 1.0
+    print(f"\ntracing overhead: {passes['off']['pps']:,.0f} pkt/s off, "
+          f"{passes['on']['pps']:,.0f} pkt/s on "
+          f"({overhead:+.1%}, {passes['on']['trace_lines']} trace lines)")
+    _merge_artifact(artifact_dir, "tracing_overhead", {
+        "packets": packets,
+        "pps_off": passes["off"]["pps"],
+        "pps_on": passes["on"]["pps"],
+        "overhead_fraction": overhead,
+        "alerts": passes["on"]["alerts"],
+        "trace_lines": passes["on"]["trace_lines"],
+        "sample": "alerts",
+    })
+    # Acceptance says <5%; the tripwire is generous because smoke-scale
+    # runs on shared CI runners are noisy — it catches a tracing path
+    # that turned accidentally hot, not scheduler jitter.
+    assert overhead < 0.25
 
 
 def test_bench_hostile_soak(artifact_dir):

@@ -15,7 +15,10 @@ Deployment workflow (train once, detect anywhere)::
 Observability: ``--metrics`` (or ``REPRO_METRICS=1``) turns on the
 pipeline metrics registry; ``--stats-interval``/``--stats-out`` stream
 JSON-lines snapshots (default sink: stderr); ``--log-level`` controls
-the ``repro`` logger.
+the ``repro`` logger.  ``detect --trace-out trace.jsonl`` (or
+``REPRO_TRACE=1``) records the detection trace; ``dynaminer explain
+trace.jsonl`` walks each alert's provenance and ``dynaminer stats
+stats.jsonl`` summarizes a snapshot stream.
 """
 
 from __future__ import annotations
@@ -104,6 +107,37 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
         choices=("debug", "info", "warning", "error"),
         help="repro logger verbosity (default: info)",
     )
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="enable detection tracing (same as REPRO_TRACE=1)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, dest="trace_out",
+        help="append the detection trace as JSON lines to this file"
+             " (implies --trace; inspect with `dynaminer explain`)",
+    )
+    parser.add_argument(
+        "--trace-sample", default="full", dest="trace_sample",
+        choices=("full", "alerts"),
+        help="keep every watch timeline ('full') or only timelines of"
+             " watches that alerted ('alerts'; default: full)",
+    )
+
+
+def _setup_tracing(args: argparse.Namespace) -> None:
+    """Turn tracing on when the detect flags ask for it.
+
+    Like :func:`_setup_observability`, this must run before the
+    pipeline is constructed — components capture the active tracer at
+    ``__init__``.
+    """
+    from repro.obs import enable_tracing
+
+    if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+        enable_tracing(sample=args.trace_sample)
 
 
 def _cmd_list() -> int:
@@ -202,6 +236,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
     log = get_logger("cli")
     reporter = _setup_observability(args)
+    _setup_tracing(args)
     model = _load_model_or_fail(args.model, log)
     if model is None:
         return 2
@@ -221,7 +256,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         return _detect_sharded(args, log, model, linktype, packets,
                                policy, config)
     detector = OnTheWireDetector(model, policy=policy, config=config)
-    live = LiveDetector(detector, linktype=linktype, reporter=reporter)
+    live = LiveDetector(detector, linktype=linktype, reporter=reporter,
+                        trace_out=args.trace_out)
     for packet in packets:
         live.feed(packet)
     live.finish()
@@ -256,7 +292,7 @@ def _detect_sharded(args, log, model, linktype, packets, policy,
     """
     import json
 
-    from repro.obs import metrics_enabled
+    from repro.obs import metrics_enabled, tracing_enabled, write_trace
     from repro.service import EngineSpec, ShardedDetectionService
 
     spec = EngineSpec(
@@ -265,6 +301,10 @@ def _detect_sharded(args, log, model, linktype, packets, policy,
         detector_config=config,
         linktype=linktype,
         metrics=metrics_enabled(),
+        # None defers to each worker's ambient REPRO_TRACE; the explicit
+        # True covers --trace/--trace-out, which only flip the parent.
+        trace=True if tracing_enabled() else None,
+        trace_sample=getattr(args, "trace_sample", "full"),
     )
     service = ShardedDetectionService(spec, workers=args.workers)
     log.info("sharded detection: %d worker process(es)", service.n_workers)
@@ -281,6 +321,9 @@ def _detect_sharded(args, log, model, linktype, packets, policy,
                 handle.write(line + "\n")
         else:
             print(line, file=sys.stderr)
+    if args.trace_out:
+        count = write_trace(fleet.trace, args.trace_out)
+        log.info("wrote %d trace events to %s", count, args.trace_out)
     alerts = fleet.alerts
     print(f"{len(alerts)} alert(s); "
           f"{fleet.classifications} classifications over "
@@ -288,6 +331,137 @@ def _detect_sharded(args, log, model, linktype, packets, policy,
           f"({fleet.transactions_weeded} transactions weeded as trusted)")
     _print_alerts(alerts)
     return 0 if not alerts else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Walk each alert's provenance out of a detection-trace JSONL."""
+    from repro.features import feature_names
+    from repro.obs import configure_logging, get_logger, read_trace
+
+    configure_logging(getattr(args, "log_level", "info"))
+    log = get_logger("cli")
+    try:
+        events = read_trace(args.trace)
+    except FileNotFoundError:
+        log.error("trace file not found: %s (record one with"
+                  " `dynaminer detect ... --trace-out %s`)",
+                  args.trace, args.trace)
+        return 2
+    except (OSError, ValueError) as exc:
+        log.error("cannot read trace %s: %s", args.trace, exc)
+        return 2
+    alerts = [event for event in events
+              if event.get("kind") == "verdict"
+              and event.get("data", {}).get("decision") == "alert"]
+    print(f"{len(events)} trace event(s), {len(alerts)} alert(s)"
+          f" in {args.trace}")
+    for index, event in enumerate(alerts[:args.limit]):
+        _print_alert_walkthrough(index, event, events, feature_names())
+    if len(alerts) > args.limit:
+        print(f"\n... {len(alerts) - args.limit} more alert(s);"
+              f" raise --limit to see them")
+    return 0
+
+
+def _print_alert_walkthrough(index: int, event: dict, events: list[dict],
+                             names: list[str]) -> None:
+    data = event.get("data", {})
+    watch, client = event.get("watch", ""), event.get("client", "")
+    kinds: dict[str, int] = {}
+    for other in events:
+        if other.get("watch") == watch and other.get("client") == client:
+            kind = other.get("kind", "?")
+            kinds[kind] = kinds.get(kind, 0) + 1
+    timeline = " ".join(f"{kind}={kinds[kind]}" for kind in sorted(kinds))
+    print(f"\nalert #{index}: client={client} watch={watch}"
+          f" t={event.get('ts', 0.0):.3f}")
+    print(f"  score={data.get('score', 0.0):.3f}"
+          f" threshold={data.get('threshold', 0.0):.2f}")
+    print(f"  timeline: {timeline}")
+    provenance = data.get("provenance")
+    if not provenance:
+        print("  (no provenance recorded)")
+        return
+    chain = provenance.get("clue_chain", [])
+    total = provenance.get("clues_total", len(chain))
+    print(f"  clue chain ({total} clue(s)):")
+    for clue in chain:
+        print(f"    t={clue.get('timestamp', 0.0):.3f}"
+              f" server={clue.get('server')}"
+              f" payload={clue.get('payload_type')}"
+              f" chain_length={clue.get('chain_length')}")
+    ttd = provenance.get("time_to_detection")
+    tfe = provenance.get("time_from_first_edge")
+    if ttd is not None:
+        print(f"  time to detection: {ttd:.3f}s after first clue"
+              + ("" if tfe is None
+                 else f", {tfe:.3f}s after first infection-stage edge"))
+    print(f"  wcg at verdict: {provenance.get('wcg_order')} nodes /"
+          f" {provenance.get('wcg_size')} edges"
+          f" (engine={provenance.get('engine')})")
+    tally = provenance.get("vote_tally")
+    if tally:
+        print(f"  forest vote: {tally[1]}/{tally[0] + tally[1]} trees"
+              f" infectious")
+    counts = provenance.get("feature_path_counts") or []
+    ranked = sorted(
+        ((count, name) for count, name in zip(counts, names) if count),
+        reverse=True,
+    )
+    if ranked:
+        print("  top decision-path features:")
+        for count, name in ranked[:5]:
+            print(f"    {name}: {count} split(s)")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize a JSON-lines stats stream (reporter or fleet lines)."""
+    import json
+
+    from repro.obs import configure_logging, get_logger
+
+    configure_logging(getattr(args, "log_level", "info"))
+    log = get_logger("cli")
+    try:
+        with open(args.stats, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+    except FileNotFoundError:
+        log.error("stats file not found: %s", args.stats)
+        return 2
+    except (OSError, ValueError) as exc:
+        log.error("cannot read stats %s: %s", args.stats, exc)
+        return 2
+    # Fleet snapshots arrive wrapped as {"fleet": {...}}.
+    snapshots = [line.get("fleet", line) for line in lines]
+    if not snapshots:
+        log.error("no snapshots in %s", args.stats)
+        return 2
+    final = snapshots[-1]
+    print(f"{len(snapshots)} snapshot(s) in {args.stats}")
+    counters = final.get("counters", {})
+    if counters:
+        print("counters (cumulative):")
+        for name in sorted(counters):
+            print(f"  {name}: {counters[name]}")
+    rates = final.get("rates", {})
+    if rates:
+        print("rates (final interval):")
+        for name in sorted(rates):
+            print(f"  {name}: {rates[name]:.1f}")
+    histograms = final.get("histograms", {})
+    if histograms:
+        print("histograms:")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            if not hist.get("count"):
+                continue
+            parts = [f"count={hist['count']}"]
+            for stat in ("mean", "p50", "p90", "p99", "max"):
+                value = hist.get(stat)
+                if value is not None:
+                    parts.append(f"{stat}={value:.6g}")
+            print(f"  {name}: " + " ".join(parts))
+    return 0
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -375,6 +549,35 @@ def main(argv: list[str] | None = None) -> int:
              " byte-identical to the single-process run at any N.",
     )
     _add_observability_flags(detect_parser)
+    _add_trace_flags(detect_parser)
+
+    explain_parser = subparsers.add_parser(
+        "explain", help="walk alert provenance out of a detection trace"
+    )
+    explain_parser.add_argument(
+        "trace", help="trace JSONL file (from `detect --trace-out`)"
+    )
+    explain_parser.add_argument(
+        "--limit", type=int, default=10,
+        help="maximum alerts to walk through (default: 10)",
+    )
+    explain_parser.add_argument(
+        "--log-level", default="info", dest="log_level",
+        choices=("debug", "info", "warning", "error"),
+        help="repro logger verbosity (default: info)",
+    )
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="summarize a JSON-lines stats snapshot stream"
+    )
+    stats_parser.add_argument(
+        "stats", help="stats JSONL file (from `--stats-out`)"
+    )
+    stats_parser.add_argument(
+        "--log-level", default="info", dest="log_level",
+        choices=("debug", "info", "warning", "error"),
+        help="repro logger verbosity (default: info)",
+    )
 
     synth_parser = subparsers.add_parser(
         "synth", help="synthesize a labelled pcap capture"
@@ -395,6 +598,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_train(args)
     if args.command == "detect":
         return _cmd_detect(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "synth":
         return _cmd_synth(args)
     return 2

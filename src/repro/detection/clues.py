@@ -54,6 +54,17 @@ class InfectionClue:
     chain_length: int
     timestamp: float
 
+    def as_primitives(self) -> dict:
+        """JSON-primitive view of the clue's context (minus the
+        client/timestamp, which trace events carry as envelope
+        fields) — the ``data`` payload of ``clue`` trace events and
+        the raw material of provenance clue chains."""
+        return {
+            "server": self.server,
+            "payload": self.payload_type.value,
+            "chain_length": self.chain_length,
+        }
+
 
 @dataclass
 class CluePolicy:

@@ -25,16 +25,25 @@ import numpy as np
 
 from repro.core.model import HttpTransaction
 from repro.core.payloads import is_exploit_type
-from repro.detection.alerts import Alert, AlertSink, ListSink
+from repro.detection.alerts import (
+    Alert,
+    AlertProvenance,
+    AlertSink,
+    ClueRecord,
+    ListSink,
+)
 from repro.detection.clues import CluePolicy
 from repro.detection.monitor import SessionTable, SessionWatch
 from repro.detection.whitelist import VendorWhitelist
 from repro.exceptions import DetectionError
 from repro.features.extractor import FeatureExtractor
 from repro.learning.forest import EnsembleRandomForest
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["DetectorConfig", "OnTheWireDetector"]
+
+#: Edge-kind column codes -> trace-event labels (repro.core.wcg).
+_EDGE_KIND_LABELS = ("request", "response", "redirect")
 
 
 @dataclass
@@ -123,6 +132,10 @@ class OnTheWireDetector:
         self._scored_order: dict[str, int] = {}
         self._scored_version: dict[str, int] = {}
         self._last_alert_ts: dict[str, float] = {}
+        #: Per-watch (edge count, structure version) last surfaced to
+        #: the tracer; only populated while tracing is enabled.
+        self._traced_wcg: dict[str, tuple[int, int]] = {}
+        self._tracer = get_tracer()
         self.transactions_seen = 0
         self.transactions_weeded = 0
         self.classifications = 0
@@ -268,8 +281,51 @@ class OnTheWireDetector:
         self._updates_since_score[watch.key] = 1
         self._scored_order[watch.key] = wcg.order
         self._scored_version[watch.key] = wcg.version
+        if self._tracer.enabled:
+            self._trace_growth(watch, wcg, now)
         return _PendingScore(watch=watch, now=now, wcg=wcg,
                              wcg_order=wcg.order, wcg_size=wcg.size)
+
+    def _trace_growth(self, watch: SessionWatch, wcg, now: float) -> None:
+        """Surface the WCG's growth since the last score request.
+
+        Edge events are emitted here — where the detection path
+        materializes the graph — rather than from inside the builder:
+        the builder folds its pending transactions lazily, and forcing
+        extra folds just to observe edges would change *when* the
+        out-of-order replay runs, breaking the tracing-on/off metrics
+        identity.  Each event carries the edge's own timestamp from the
+        column store, so the reconstructed timeline is stream-accurate
+        even though emission batches at scoring points.  (On the rare
+        out-of-order replay the store is rebuilt sorted, so the tail
+        slice may describe re-ordered edges; the diff is deterministic
+        either way.)
+        """
+        store = wcg.edge_store
+        size = len(store)
+        last_size, last_structure = self._traced_wcg.get(watch.key, (0, -1))
+        if size > last_size:
+            stamps = store.column("timestamp")
+            kinds = store.column("kind")
+            stages = store.column("stage")
+            for index in range(last_size, size):
+                self._tracer.emit(
+                    "edge",
+                    ts=float(stamps[index]),
+                    client=watch.client,
+                    watch=watch.key,
+                    edge=_EDGE_KIND_LABELS[int(kinds[index])],
+                    stage=int(stages[index]),
+                    index=index,
+                )
+        structure = wcg.structure_version
+        if structure != last_structure:
+            self._tracer.emit(
+                "wcg", ts=now, client=watch.client, watch=watch.key,
+                order=int(wcg.order), size=int(size),
+                structure_version=int(structure),
+            )
+        self._traced_wcg[watch.key] = (size, structure)
 
     def score_batch(self, requests: list[_PendingScore]) -> list[Alert]:
         """Score pending requests as one matrix call; dispatch in order.
@@ -287,30 +343,57 @@ class OnTheWireDetector:
         rows = self._extractor.extract_batch(
             [request.wcg for request in requests]
         )
-        scores = self._timed_scores(rows)
+        scores, latency = self._timed_scores(rows)
         self._c_batches.inc()
         self._h_batch_size.observe(len(requests))
         alerts = []
-        for request, score in zip(requests, scores):
-            alert = self._dispatch(request, float(score))
+        traced = self._tracer.enabled
+        for index, (request, score) in enumerate(zip(requests, scores)):
+            if traced:
+                self._trace_score(request, float(score), len(requests),
+                                  latency)
+            alert = self._dispatch(request, float(score), rows[index])
             if alert is not None:
                 alerts.append(alert)
         return alerts
 
-    def _timed_scores(self, rows: np.ndarray) -> np.ndarray:
-        """Classifier call, timed into the per-score latency histogram.
+    def _timed_scores(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, float | None]:
+        """Classifier call; returns ``(scores, per-row seconds)``.
 
-        The clock is only read when metrics are enabled, so the
-        disabled path is exactly the bare classifier call.
+        The clock is only read when metrics or tracing want the
+        latency, so the disabled path is exactly the bare classifier
+        call (and reports ``None``).  The histogram observation stays
+        metrics-gated — it is a no-op instrument otherwise.
         """
-        if not self._metrics.enabled:
-            return self.classifier.decision_scores(rows)
+        if not (self._metrics.enabled or self._tracer.enabled):
+            return self.classifier.decision_scores(rows), None
         started = time.perf_counter()
         scores = self.classifier.decision_scores(rows)
         elapsed = time.perf_counter() - started
         # Per-score latency: the batch call amortizes over its rows.
-        self._h_latency.observe(elapsed / len(rows))
-        return scores
+        per_row = elapsed / len(rows)
+        self._h_latency.observe(per_row)
+        return scores, per_row
+
+    def _trace_score(self, request: _PendingScore, score: float,
+                     batch: int, latency: float | None) -> None:
+        """Emit one ``score`` event (engine, batch size, per-row
+        latency; the latency is wall-clock and thus excluded from the
+        canonical trace form)."""
+        data = {
+            "score": score,
+            "engine": self.classifier.engine,
+            "batch": batch,
+            "order": request.wcg_order,
+            "size": request.wcg_size,
+        }
+        if latency is not None:
+            data["latency_s"] = latency
+        self._tracer.emit("score", ts=request.now,
+                          client=request.watch.client,
+                          watch=request.watch.key, **data)
 
     def _score(self, watch: SessionWatch, now: float) -> Alert | None:
         """Request, score, and dispatch one watch immediately."""
@@ -318,16 +401,31 @@ class OnTheWireDetector:
         if request is None:
             return None
         vector = self._extractor.extract(request.wcg)
-        score = float(self._timed_scores(vector[None, :])[0])
+        scores, latency = self._timed_scores(vector[None, :])
+        score = float(scores[0])
         self._c_batches.inc()
         self._h_batch_size.observe(1)
-        return self._dispatch(request, score)
+        if self._tracer.enabled:
+            self._trace_score(request, score, 1, latency)
+        return self._dispatch(request, score, vector)
 
-    def _dispatch(self, request: _PendingScore, score: float) -> Alert | None:
-        """Apply the verdict: threshold, cooldown, alert, terminate."""
+    def _dispatch(self, request: _PendingScore, score: float,
+                  row: np.ndarray) -> Alert | None:
+        """Apply the verdict: threshold, cooldown, alert, terminate.
+
+        ``row`` is the feature vector the score came from; when tracing
+        is enabled it feeds the alert's forest explanation.
+        """
         watch = request.watch
         now = request.now
+        traced = self._tracer.enabled
         if score < self.config.alert_threshold:
+            if traced:
+                self._tracer.emit(
+                    "verdict", ts=now, client=watch.client,
+                    watch=watch.key, decision="benign", score=score,
+                    threshold=self.config.alert_threshold,
+                )
             return None
         last = self._last_alert_ts.get(watch.client)
         if last is not None and now - last < self.config.alert_cooldown:
@@ -341,9 +439,20 @@ class OnTheWireDetector:
             watch.alerted = True
             watch.terminated = True
             self._forget(watch.key)
+            if traced:
+                self._tracer.emit(
+                    "verdict", ts=now, client=watch.client,
+                    watch=watch.key, decision="cooldown", score=score,
+                    threshold=self.config.alert_threshold,
+                    suppressed_by=last,
+                )
+                self._tracer.close_watch(watch.key, alerted=True)
             return None
         self._last_alert_ts[watch.client] = now
         self._sweep_alert_state()
+        provenance = (
+            self._build_provenance(request, row) if traced else None
+        )
         alert = Alert(
             client=watch.client,
             score=score,
@@ -352,19 +461,88 @@ class OnTheWireDetector:
             wcg_order=request.wcg_order,
             wcg_size=request.wcg_size,
             session_key=watch.key,
+            provenance=provenance,
         )
         watch.alerted = True
         watch.terminated = True  # DynaMiner terminates infectious sessions
         self._forget(watch.key)
         self._c_alerts.inc()
+        if traced:
+            self._tracer.emit(
+                "verdict", ts=now, client=watch.client, watch=watch.key,
+                decision="alert", score=score,
+                threshold=self.config.alert_threshold,
+                provenance=provenance.to_dict(),
+            )
+            self._tracer.close_watch(watch.key, alerted=True)
         self.sink.emit(alert)
         return alert
+
+    def _build_provenance(self, request: _PendingScore,
+                          row: np.ndarray) -> AlertProvenance:
+        """Assemble the alert's provenance record.
+
+        Clue chains come from the tracer's per-watch summary (kept
+        outside the event ring, so they survive ring rotation); timing
+        comes from the WCG's own timestamp column; the forest
+        explanation is one vectorized pass over the compiled arena.
+        Every field is stream-derived — no wall clock — so provenance
+        is identical across runs and worker counts.
+        """
+        watch = request.watch
+        now = request.now
+        summary = self._tracer.watch_summary(watch.key)
+        if summary is not None and summary.clues:
+            chain = tuple(
+                ClueRecord(
+                    server=event.data.get("server", ""),
+                    payload_type=event.data.get("payload", ""),
+                    chain_length=int(event.data.get("chain_length", 0)),
+                    timestamp=event.ts,
+                )
+                for event in summary.clues
+            )
+            clues_total = summary.clue_count
+        elif watch.active_clue is not None:
+            # The tracer was enabled after this watch opened (or its
+            # timeline was evicted); fall back to the opening clue.
+            clue = watch.active_clue
+            chain = (ClueRecord(server=clue.server,
+                                payload_type=clue.payload_type.value,
+                                chain_length=clue.chain_length,
+                                timestamp=clue.timestamp),)
+            clues_total = 1
+        else:
+            chain = ()
+            clues_total = 0
+        first_clue_ts = chain[0].timestamp if chain else now
+        store = request.wcg.edge_store
+        first_edge_ts = (
+            float(store.column("timestamp").min()) if len(store) else now
+        )
+        explanation = self.classifier.explain_row(row)
+        return AlertProvenance(
+            clue_chain=chain,
+            clues_total=int(clues_total),
+            first_clue_ts=float(first_clue_ts),
+            first_edge_ts=float(first_edge_ts),
+            time_to_detection=float(now - first_clue_ts),
+            time_from_first_edge=float(now - first_edge_ts),
+            wcg_order=int(request.wcg_order),
+            wcg_size=int(request.wcg_size),
+            engine=self.classifier.engine,
+            tree_votes=explanation["tree_votes"],
+            tree_scores=explanation["tree_scores"],
+            vote_tally=explanation["vote_tally"],
+            feature_path_counts=explanation["feature_path_counts"],
+        )
 
     def _forget(self, key: str) -> None:
         """Drop per-watch scoring state once the watch is closed."""
         self._updates_since_score.pop(key, None)
         self._scored_order.pop(key, None)
         self._scored_version.pop(key, None)
+        self._traced_wcg.pop(key, None)
 
     def _sweep_alert_state(self) -> None:
         """Bound the per-client cooldown map.
@@ -387,6 +565,12 @@ class OnTheWireDetector:
         }
 
     # -- introspection --------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The tracer this detector captured at construction (the
+        :data:`~repro.obs.NULL_TRACER` when tracing is off)."""
+        return self._tracer
 
     @property
     def alerts(self) -> list[Alert]:

@@ -60,7 +60,7 @@ from repro.net.reassembly import (
     TcpReassembler,
     TcpStream,
 )
-from repro.obs import PipelineStatsReporter, get_registry
+from repro.obs import PipelineStatsReporter, get_registry, write_trace
 
 __all__ = ["OverloadPolicy", "LiveDecoder", "DetectionEngine",
            "LiveDetector", "WatchSnapshot"]
@@ -338,17 +338,21 @@ class LiveDetector:
     :class:`~repro.obs.PipelineStatsReporter` whose interval snapshots
     tick from the packet loop (:meth:`feed`) with a final one emitted by
     :meth:`finish`, so a deployed tap streams its own telemetry without
-    any extra wiring.
+    any extra wiring.  ``trace_out`` (a path or file-like object) makes
+    :meth:`finish` drain the detector's tracer to JSON lines — a no-op
+    unless tracing was enabled before the detector was built.
     """
 
     def __init__(self, detector: OnTheWireDetector,
                  linktype: int = LINKTYPE_ETHERNET,
                  book: AddressBook | None = None,
                  reporter: PipelineStatsReporter | None = None,
-                 policy: OverloadPolicy | None = None):
+                 policy: OverloadPolicy | None = None,
+                 trace_out=None):
         self.engine = DetectionEngine(detector, linktype=linktype,
                                       book=book, policy=policy)
         self.reporter = reporter
+        self.trace_out = trace_out
 
     @property
     def detector(self) -> OnTheWireDetector:
@@ -370,8 +374,12 @@ class LiveDetector:
         return alerts
 
     def finish(self) -> list[Alert]:
-        """Flush the decoder and finalize the detector's watches."""
+        """Flush the decoder and finalize the detector's watches;
+        drains the trace to ``trace_out`` when one was configured."""
         alerts = self.engine.finish()
         if self.reporter is not None:
             self.reporter.finalize()
+        tracer = self.detector.tracer
+        if self.trace_out is not None and tracer.enabled:
+            write_trace(tracer.drain(), self.trace_out)
         return alerts

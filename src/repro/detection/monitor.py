@@ -26,7 +26,7 @@ from repro.core.model import HttpMethod, HttpTransaction
 from repro.core.sessions import extract_session_id
 from repro.core.wcg import WebConversationGraph
 from repro.detection.clues import ClueDetector, CluePolicy, InfectionClue
-from repro.obs import get_registry
+from repro.obs import get_registry, get_tracer
 
 __all__ = ["SessionWatch", "SessionTable"]
 
@@ -139,6 +139,7 @@ class SessionTable:
         self._c_pruned = metrics.counter("session.watches_pruned")
         self._c_sweeps = metrics.counter("session.sweeps")
         self._g_active = metrics.gauge("session.active_watches")
+        self._tracer = get_tracer()
 
     @property
     def opened_count(self) -> int:
@@ -176,7 +177,13 @@ class SessionTable:
             self._live += 1
             self._c_opened.inc()
             self._g_active.set(self._live)
-        chosen.add(txn)
+            if self._tracer.enabled:
+                self._tracer.emit("watch", ts=txn.timestamp,
+                                  client=txn.client, watch=chosen.key)
+        clue = chosen.add(txn)
+        if clue is not None and self._tracer.enabled:
+            self._tracer.emit("clue", ts=clue.timestamp, client=clue.client,
+                              watch=chosen.key, **clue.as_primitives())
         return chosen
 
     def watches(self) -> list[SessionWatch]:
@@ -234,6 +241,21 @@ class SessionTable:
         self._live -= 1
         self._c_pruned.inc()
         self._g_active.set(self._live)
+        if self._tracer.enabled:
+            # Stamped with the watch's own last stream time, not the
+            # table clock: `self._now` advances with whatever clients
+            # this table happens to host, so a table-clock stamp would
+            # differ between a single-process run and a client-sharded
+            # fleet.  The watch's last_ts depends only on its own
+            # client's stream — the canonical trace stays worker-count
+            # invariant even though *when* the prune runs varies.
+            self._tracer.emit(
+                "prune", ts=watch.last_ts, client=watch.client,
+                watch=watch.key, alerted=watch.alerted,
+                had_clue=watch.active_clue is not None,
+                transactions=len(watch.transactions),
+            )
+            self._tracer.close_watch(watch.key, alerted=watch.alerted)
         return True
 
     def sweep(self) -> None:

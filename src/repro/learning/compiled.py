@@ -194,6 +194,41 @@ class CompiledForest:
             total += self.leaf_proba[pos[:, index]]
         return total / self.n_trees
 
+    def explain(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Decision-path explanation of one row, in one vectorized pass.
+
+        Returns ``(leaves, counts)``: the leaf arena index each tree
+        lands on (so callers can read per-tree votes from
+        ``leaf_vote`` and per-tree probabilities from ``leaf_proba``),
+        and the number of split nodes across all trees that tested
+        each feature on the row's root-to-leaf paths — the
+        per-feature decision-path usage counts of alert provenance.
+
+        Same level-wise stepping as :meth:`_leaves`, with one extra
+        ``bincount`` over the still-interior lanes per level; lanes
+        parked on leaves (``feature == -1``) are masked out of the
+        tally and the walk exits early once every lane has parked.
+        """
+        row = np.asarray(x, dtype=np.float64).reshape(-1)
+        if row.shape[0] != self.n_features:
+            raise LearningError(
+                f"expected {self.n_features} features, got {row.shape[0]}"
+            )
+        pos = self.roots.copy()
+        counts = np.zeros(self.n_features, dtype=np.int64)
+        threshold, child = self.threshold, self.child
+        for _ in range(self.depth):
+            features = self.feature.take(pos)
+            interior = features >= 0
+            if not interior.any():
+                break
+            counts += np.bincount(features[interior],
+                                  minlength=self.n_features)
+            values = row.take(np.maximum(features, 0))
+            go_left = values <= threshold.take(pos)
+            pos = child.take((pos << 1) + go_left)
+        return pos, counts
+
     def vote_fractions(self, X: np.ndarray) -> np.ndarray:
         """Hard-vote fractions (the ``voting="majority"`` ablation).
 

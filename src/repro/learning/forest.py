@@ -381,6 +381,55 @@ class EnsembleRandomForest:
             return proba[:, -1]
         return np.zeros(len(proba))
 
+    def explain_row(self, x: np.ndarray) -> dict:
+        """Per-tree decision-path explanation of one feature row.
+
+        Returns a dict of plain-Python values (pickles cleanly inside
+        alert provenance):
+
+        * ``tree_votes`` — each tree's predicted class label;
+        * ``tree_scores`` — each tree's infection-class probability
+          (0.0 when the forest never saw class 1, mirroring
+          :meth:`decision_scores`);
+        * ``vote_tally`` — ``(benign votes, infectious votes)``;
+        * ``feature_path_counts`` — how many split nodes across all
+          trees tested each feature on this row's paths.
+
+        Always runs on the compiled arena (one vectorized pass, see
+        :meth:`CompiledForest.explain <repro.learning.compiled.
+        CompiledForest.explain>`) regardless of the configured
+        inference engine, and bypasses the ``forest.rows_scored``
+        instrumentation — explanation must not perturb the scoring
+        metrics.  With ``engine="object"`` the arena is compiled on
+        first use (one visible ``forest.arena_rebuilds`` tick).
+        """
+        self._check_fitted()
+        compiled = self._compiled_forest()
+        leaves, counts = compiled.explain(x)
+        vote_columns = compiled.leaf_vote[leaves]
+        # Infection-class column resolution, as in decision_scores.
+        positive = np.flatnonzero(self._classes == 1)
+        if positive.size:
+            column = int(positive[0])
+        elif len(self._classes) > 1:
+            column = len(self._classes) - 1
+        else:
+            column = None
+        if column is None:
+            scores = np.zeros(len(leaves))
+            infectious = 0
+        else:
+            scores = compiled.leaf_proba[leaves, column]
+            infectious = int((vote_columns == column).sum())
+        return {
+            "tree_votes": tuple(
+                int(label) for label in self._classes[vote_columns]
+            ),
+            "tree_scores": tuple(float(score) for score in scores),
+            "vote_tally": (len(self.trees_) - infectious, infectious),
+            "feature_path_counts": tuple(int(c) for c in counts),
+        }
+
     def feature_importances(self) -> np.ndarray:
         """Mean split-frequency importances across trees."""
         self._check_fitted()

@@ -9,8 +9,14 @@ method call per event; set ``REPRO_METRICS=1`` (or call
 :func:`enable_metrics` / :func:`use_registry` before constructing the
 pipeline) to record.
 
-See DESIGN.md §11 for the metric taxonomy and the README's
-"Observability" section for the operator workflow.
+Detection tracing (:mod:`repro.obs.trace`) follows the same pattern:
+``REPRO_TRACE=1`` / :func:`enable_tracing` / :func:`use_tracer` switch
+on per-watch event timelines and alert provenance; the default
+:data:`NULL_TRACER` is a true no-op.
+
+See DESIGN.md §11 for the metric taxonomy, DESIGN.md §16 for the trace
+event taxonomy, and the README's "Observability" and "Tracing & alert
+provenance" sections for the operator workflow.
 """
 
 from repro.obs.logs import LOGGER_NAME, configure_logging, get_logger
@@ -35,8 +41,38 @@ from repro.obs.reporter import (
     parse_snapshots,
     read_snapshots,
 )
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    canonical_events,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    parse_trace,
+    read_trace,
+    set_tracer,
+    tracing_enabled,
+    use_tracer,
+    write_trace,
+)
 
 __all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "canonical_events",
+    "write_trace",
+    "read_trace",
+    "parse_trace",
     "Counter",
     "Gauge",
     "Histogram",

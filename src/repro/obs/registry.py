@@ -42,6 +42,8 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "decimate_samples",
+    "interpolated_quantile",
     "Span",
     "MetricsRegistry",
     "NullRegistry",
@@ -57,6 +59,44 @@ __all__ = [
 
 #: Histogram sample-buffer size; beyond it, deterministic decimation.
 _MAX_SAMPLES = 2048
+
+
+def decimate_samples(samples: list[float],
+                     cap: int = _MAX_SAMPLES) -> list[float]:
+    """Bound a sample buffer with the histogram's decimation rule.
+
+    Repeatedly keeps every other sample (in observation order) until
+    the buffer fits under ``cap`` — the exact halving
+    :meth:`Histogram.observe` applies, so merging per-shard buffers
+    (:func:`repro.service.daemon.merge_snapshots`) stays deterministic
+    and bounded.
+    """
+    out = list(samples)
+    cap = max(2, cap)
+    while len(out) >= cap:
+        del out[1::2]
+    return out
+
+
+def interpolated_quantile(samples: list[float], q: float) -> float | None:
+    """Linear-interpolated quantile of a sample buffer.
+
+    The shared quantile rule of :meth:`Histogram.quantile` and the
+    fleet snapshot merge; ``None`` on an empty buffer.
+    """
+    if not samples:
+        return None
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    q = min(1.0, max(0.0, q))
+    position = q * (len(data) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return data[low]
+    fraction = position - low
+    return data[low] * (1.0 - fraction) + data[high] * fraction
 
 
 class Counter:
@@ -149,22 +189,16 @@ class Histogram:
         observed; a deterministic approximation afterwards.  Returns
         ``None`` on an empty histogram.
         """
-        if not self._samples:
-            return None
-        data = sorted(self._samples)
-        if len(data) == 1:
-            return data[0]
-        q = min(1.0, max(0.0, q))
-        position = q * (len(data) - 1)
-        low = math.floor(position)
-        high = math.ceil(position)
-        if low == high:
-            return data[low]
-        fraction = position - low
-        return data[low] * (1.0 - fraction) + data[high] * fraction
+        return interpolated_quantile(self._samples, q)
 
     def snapshot(self) -> dict:
-        """JSON-compatible summary (count, sum, min/max, mean, p50/90/99)."""
+        """JSON-compatible summary (count, sum, min/max, mean, p50/90/99).
+
+        ``samples`` carries the retained (deterministically decimated)
+        buffer so a fleet merge can compute *exact* quantiles instead
+        of estimating from per-shard summaries; the stats reporter
+        strips it from operator-facing JSONL lines.
+        """
         return {
             "count": self.count,
             "sum": self.total,
@@ -174,6 +208,7 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p90": self.quantile(0.90),
             "p99": self.quantile(0.99),
+            "samples": list(self._samples),
         }
 
 

@@ -51,6 +51,9 @@ class PipelineStatsReporter:
         self._started = clock()
         self._last_emit = self._started
         self.emitted = 0
+        #: Counter values at the last emission — the baseline the
+        #: per-interval deltas and rates are computed against.
+        self._last_counters: dict[str, int] = {}
         #: Snapshot lines retained when no ``out`` sink is configured.
         self.lines: list[str] = []
         self._stream: IO[str] | None = None
@@ -64,10 +67,34 @@ class PipelineStatsReporter:
             self._owns_stream = True
 
     def snapshot(self, reason: str = "interval") -> dict:
-        """Build (without emitting) one snapshot dict."""
+        """Build (without emitting) one snapshot dict.
+
+        Alongside the cumulative registry view, each snapshot carries
+        the counter *deltas* since the previous emission and the
+        derived per-second *rates* (``<name>_per_s``) over that
+        interval, so operators and bench artifacts read steady-state
+        throughput (e.g. ``decode.packets_per_s``) without
+        post-processing.  Raw histogram sample buffers are stripped —
+        they exist for the fleet merge, not for JSONL lines.
+        """
         data = self.registry.snapshot()
+        for hist in data.get("histograms", {}).values():
+            hist.pop("samples", None)
         data["reason"] = reason
-        data["elapsed_seconds"] = self._clock() - self._started
+        now = self._clock()
+        data["elapsed_seconds"] = now - self._started
+        interval = now - self._last_emit if self.emitted else data[
+            "elapsed_seconds"]
+        data["interval_seconds"] = interval
+        deltas = {
+            name: value - self._last_counters.get(name, 0)
+            for name, value in data.get("counters", {}).items()
+        }
+        data["deltas"] = deltas
+        data["rates"] = {
+            f"{name}_per_s": delta / interval
+            for name, delta in deltas.items()
+        } if interval > 0 else {}
         return data
 
     def emit(self, reason: str = "interval") -> dict:
@@ -81,6 +108,8 @@ class PipelineStatsReporter:
             self.lines.append(line)
         self.emitted += 1
         self._last_emit = self._clock()
+        # The next interval's deltas start from this emission.
+        self._last_counters = dict(data.get("counters", {}))
         return data
 
     def maybe_emit(self, reason: str = "interval") -> dict | None:

@@ -18,9 +18,15 @@ single-process :class:`~repro.detection.live.LiveDetector` at
 
 Registry snapshots merge structurally: counters and gauges sum across
 shards (each counter event happened on exactly one shard); histograms
-sum ``count``/``sum``, combine ``min``/``max``, and take the max of
-each quantile across shards (a conservative fleet-tail estimate —
-exact fleet quantiles would need the raw samples).
+sum ``count``/``sum``, combine ``min``/``max``, and compute fleet
+quantiles from the shards' retained sample buffers — exact whenever
+the combined buffer fits under the histogram cap, a deterministic
+decimated approximation beyond it.  (Snapshots predating the sample
+buffers fall back to the old conservative max-of-quantiles estimate.)
+
+Trace events merge under the same ``(timestamp, shard_id, seq)`` key
+as alerts (:func:`merge_traces`), so the canonical fleet trace stream
+is identical for any worker count too.
 """
 
 from __future__ import annotations
@@ -32,6 +38,8 @@ from typing import Any, Iterable, Iterator
 from repro.detection.alerts import Alert
 from repro.detection.live import WatchSnapshot
 from repro.net.pcap import PcapPacket
+from repro.obs import TraceEvent
+from repro.obs.registry import decimate_samples, interpolated_quantile
 from repro.parallel import resolve_n_jobs
 from repro.service.sharding import PacketRouter
 from repro.service.worker import (
@@ -42,7 +50,7 @@ from repro.service.worker import (
 )
 
 __all__ = ["FleetResult", "ShardedDetectionService", "merge_alerts",
-           "merge_snapshots", "merge_watch_snapshots"]
+           "merge_snapshots", "merge_traces", "merge_watch_snapshots"]
 
 #: Packets buffered per shard before a batch crosses the queue; large
 #: enough to amortize pickling, small enough to keep workers busy.
@@ -69,6 +77,9 @@ class FleetResult:
     #: Merged pre-finalize watch summaries (``EngineSpec.
     #: snapshot_watches`` on), canonical ``(client, key)`` order.
     watches: list[WatchSnapshot] = field(default_factory=list)
+    #: Merged fleet trace stream (tracing on), in the canonical
+    #: ``(timestamp, shard_id, seq)`` order of :func:`merge_traces`.
+    trace: list[TraceEvent] = field(default_factory=list)
 
     @property
     def transactions(self) -> int:
@@ -94,6 +105,26 @@ def merge_alerts(shard_alerts: Iterable[ShardAlert]) -> list[Alert]:
         key=lambda sa: (sa.alert.timestamp, sa.shard_id, sa.seq),
     )
     return [sa.alert for sa in ordered]
+
+
+def merge_traces(
+    shard_traces: Iterable[tuple[int, list[TraceEvent]]],
+) -> list[TraceEvent]:
+    """Deterministic fleet trace: sort by ``(timestamp, shard_id, seq)``.
+
+    The same total order as :func:`merge_alerts` — event timestamps are
+    stream-derived, ``shard_id`` breaks cross-shard ties, and each
+    tracer's own ``seq`` breaks ties within a shard — so the canonical
+    fleet trace (``TraceEvent.canonical``) is identical for any worker
+    count.
+    """
+    stamped = [
+        (event.ts, shard_id, event.seq, event)
+        for shard_id, events in shard_traces
+        for event in events
+    ]
+    stamped.sort(key=lambda item: item[:3])
+    return [item[3] for item in stamped]
 
 
 def merge_watch_snapshots(
@@ -143,9 +174,23 @@ def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
                 seen = [v for v in (into.get(stat), hist.get(stat))
                         if v is not None]
                 into[stat] = pick(seen) if seen else None
+            # Pool retained samples for exact fleet quantiles below.
+            # One sample-less contributor poisons the pool (None) — the
+            # quantiles then stay on the conservative max-of estimate.
+            if into.get("samples") is not None and "samples" in hist:
+                into["samples"] = list(into["samples"]) + list(
+                    hist["samples"]
+                )
+            else:
+                into["samples"] = None
     for hist in merged["histograms"].values():
         if hist.get("count"):
             hist["mean"] = hist["sum"] / hist["count"]
+        samples = hist.pop("samples", None)
+        if samples:
+            samples = decimate_samples(sorted(samples))
+            for stat, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+                hist[stat] = interpolated_quantile(samples, q)
     # Deterministic key order regardless of shard arrival order.
     for section in ("counters", "gauges", "histograms"):
         merged[section] = dict(sorted(merged[section].items()))
@@ -252,6 +297,7 @@ class ShardedDetectionService:
             snapshot=snapshot,
             packets_routed=self.packets_routed,
             watches=merge_watch_snapshots(r.watches for r in results),
+            trace=merge_traces((r.shard_id, r.trace) for r in results),
         )
 
     def close(self) -> None:

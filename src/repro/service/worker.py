@@ -26,7 +26,16 @@ from repro.detection.live import DetectionEngine, OverloadPolicy, WatchSnapshot
 from repro.learning.forest import EnsembleRandomForest
 from repro.net.flows import AddressBook
 from repro.net.pcap import LINKTYPE_ETHERNET, PcapPacket
-from repro.obs import MetricsRegistry, NullRegistry, use_registry
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    NullRegistry,
+    TraceEvent,
+    Tracer,
+    tracing_enabled,
+    use_registry,
+    use_tracer,
+)
 
 __all__ = ["EngineSpec", "ShardAlert", "ShardResult", "run_shard",
            "shard_worker"]
@@ -58,6 +67,14 @@ class EngineSpec:
     #: summaries are cheap column slices, but most callers only want
     #: alerts.
     snapshot_watches: bool = False
+    #: Capture a per-shard detection trace (repro.obs.trace) and ship
+    #: it back on :attr:`ShardResult.trace`.  ``None`` (the default)
+    #: inherits the ambient ``REPRO_TRACE`` setting inside the worker
+    #: process, so env-enabled tracing behaves identically sharded and
+    #: single-process; ``True``/``False`` force it either way.
+    trace: bool | None = None
+    #: Trace sampling mode (``"full"`` or ``"alerts"``).
+    trace_sample: str = "full"
 
     def build_engine(self) -> DetectionEngine:
         return DetectionEngine(
@@ -103,6 +120,10 @@ class ShardResult:
     #: Pre-finalize live-watch summaries (``EngineSpec.snapshot_watches``
     #: on), already in canonical ``(client, key)`` order.
     watches: list[WatchSnapshot] = field(default_factory=list)
+    #: This shard's drained trace events, in ``(ts, seq)`` order — the
+    #: coordinator merges per-shard streams under ``(ts, shard_id,
+    #: seq)``, the same key as alerts.
+    trace: list[TraceEvent] = field(default_factory=list)
     #: Traceback text if the shard died; the coordinator re-raises.
     error: str | None = None
 
@@ -116,8 +137,9 @@ def run_shard(spec: EngineSpec, shard_id: int,
     tests that want a shard without a pool around it.
     """
     registry = MetricsRegistry() if spec.metrics else NullRegistry()
+    tracer = _shard_tracer(spec)
     result = ShardResult(shard_id=shard_id)
-    with use_registry(registry):
+    with use_registry(registry), use_tracer(tracer):
         engine = spec.build_engine()
         for packet in packets:
             result.packets += 1
@@ -136,7 +158,20 @@ def run_shard(spec: EngineSpec, shard_id: int,
     result.transactions_weeded = engine.detector.transactions_weeded
     result.watches_opened = engine.detector.watch_count()
     result.snapshot = registry.snapshot()
+    result.trace = tracer.drain()
     return result
+
+
+def _shard_tracer(spec: EngineSpec):
+    """Resolve the spec's tracing request into a tracer instance.
+
+    A fresh :class:`Tracer` per shard — never the process-global one,
+    which under ``fork`` would arrive pre-loaded with the parent's
+    accumulation.  ``spec.trace=None`` defers to the ambient
+    ``REPRO_TRACE`` state so env-driven tracing traces the fleet too.
+    """
+    want = tracing_enabled() if spec.trace is None else spec.trace
+    return Tracer(sample=spec.trace_sample) if want else NULL_TRACER
 
 
 def shard_worker(spec: EngineSpec, shard_id: int, inbox: Any,
@@ -151,9 +186,10 @@ def shard_worker(spec: EngineSpec, shard_id: int, inbox: Any,
     coordinator turns it back into a raise.
     """
     registry = MetricsRegistry() if spec.metrics else NullRegistry()
+    tracer = _shard_tracer(spec)
     result = ShardResult(shard_id=shard_id)
     try:
-        with use_registry(registry):
+        with use_registry(registry), use_tracer(tracer):
             engine = spec.build_engine()
             while True:
                 batch = inbox.get()
@@ -176,6 +212,7 @@ def shard_worker(spec: EngineSpec, shard_id: int, inbox: Any,
         result.transactions_weeded = engine.detector.transactions_weeded
         result.watches_opened = engine.detector.watch_count()
         result.snapshot = registry.snapshot()
+        result.trace = tracer.drain()
     except Exception:  # noqa: BLE001 — ferried to the coordinator
         import traceback
         result.error = traceback.format_exc()

@@ -97,8 +97,11 @@ class TestHistogram:
         histogram.observe(2.0)
         snap = histogram.snapshot()
         assert set(snap) == {"count", "sum", "min", "max", "mean",
-                             "p50", "p90", "p99"}
+                             "p50", "p90", "p99", "samples"}
         assert snap["count"] == 1 and snap["p50"] == 2.0
+        # The retained sample buffer rides along for exact fleet-merge
+        # quantiles (the stats reporter strips it from emitted lines).
+        assert snap["samples"] == [2.0]
 
     def test_default_cap(self):
         histogram = Histogram("h")

@@ -105,3 +105,61 @@ class TestReporter:
         )
         clock.advance(3.5)
         assert reporter.snapshot()["elapsed_seconds"] == 3.5
+
+
+class TestDeltasAndRates:
+    def test_first_snapshot_deltas_equal_totals(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        registry.counter("decode.packets").inc(100)
+        reporter = PipelineStatsReporter(registry=registry, clock=clock)
+        clock.advance(4.0)
+        data = reporter.snapshot()
+        assert data["interval_seconds"] == 4.0
+        assert data["deltas"]["decode.packets"] == 100
+        assert data["rates"]["decode.packets_per_s"] == 25.0
+
+    def test_deltas_rebaseline_on_emit(self):
+        """Per-interval deltas measure each interval, not the lifetime."""
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        registry.counter("decode.packets").inc(100)
+        reporter = PipelineStatsReporter(registry=registry, clock=clock)
+        clock.advance(2.0)
+        first = reporter.emit("interval")
+        assert first["deltas"]["decode.packets"] == 100
+        registry.counter("decode.packets").inc(50)
+        clock.advance(10.0)
+        second = reporter.emit("interval")
+        assert second["counters"]["decode.packets"] == 150  # cumulative
+        assert second["deltas"]["decode.packets"] == 50     # this interval
+        assert second["rates"]["decode.packets_per_s"] == 5.0
+        assert second["interval_seconds"] == 10.0
+
+    def test_snapshot_does_not_advance_baseline(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        registry.counter("n").inc(5)
+        reporter = PipelineStatsReporter(registry=registry, clock=clock)
+        clock.advance(1.0)
+        assert reporter.snapshot()["deltas"]["n"] == 5
+        assert reporter.snapshot()["deltas"]["n"] == 5  # unchanged
+
+    def test_zero_interval_reports_no_rates(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(5)
+        reporter = PipelineStatsReporter(
+            registry=registry, clock=FakeClock()
+        )
+        data = reporter.snapshot()
+        assert data["interval_seconds"] == 0.0
+        assert data["rates"] == {}
+
+    def test_histogram_samples_stripped_from_lines(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(0.5)
+        reporter = PipelineStatsReporter(registry=registry)
+        data = reporter.emit("interval")
+        assert "samples" not in data["histograms"]["lat"]
+        # ... and the registry's own buffer is untouched.
+        assert registry.histogram("lat").snapshot()["samples"] == [0.5]

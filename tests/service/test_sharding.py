@@ -6,6 +6,7 @@ from repro.detection.clues import InfectionClue
 from repro.loadgen import MIXED, LoadGenerator
 from repro.loadgen.episodes import HostAllocator, RawConnection, _http_get
 from repro.net.packets import decode_ethernet, decode_ipv4, decode_tcp
+from repro.obs.registry import Histogram
 from repro.net.pcap import PcapPacket
 from repro.service import (
     PacketRouter,
@@ -173,6 +174,91 @@ class TestMergeSnapshots:
             assert hist["max"] == 9.0
             assert hist["p99"] == 9.0
             assert hist["mean"] == 5.0
+
+    def test_exact_quantiles_from_sample_buffers(self):
+        # When every contributing shard ships its retained samples, the
+        # fleet quantiles are computed over the pooled buffer — exact,
+        # not the conservative max-of estimate.
+        h1 = Histogram("lat")
+        h2 = Histogram("lat")
+        for value in range(0, 50):
+            h1.observe(float(value))
+        for value in range(50, 100):
+            h2.observe(float(value))
+        merged = merge_snapshots([
+            {"enabled": True, "counters": {}, "gauges": {},
+             "histograms": {"lat": h1.snapshot()}},
+            {"enabled": True, "counters": {}, "gauges": {},
+             "histograms": {"lat": h2.snapshot()}},
+        ])
+        oracle = Histogram("lat")
+        for value in range(100):
+            oracle.observe(float(value))
+        hist = merged["histograms"]["lat"]
+        for stat, q in (("p50", 0.50), ("p90", 0.90), ("p99", 0.99)):
+            assert hist[stat] == oracle.quantile(q)
+        # Exact beats max-of: each shard's own p50 is far off 49.5.
+        assert hist["p50"] == 49.5
+        assert max(h1.snapshot()["p50"], h2.snapshot()["p50"]) != 49.5
+
+    def test_merged_output_strips_samples(self):
+        h = Histogram("lat")
+        h.observe(1.0)
+        merged = merge_snapshots([
+            {"enabled": True, "counters": {}, "gauges": {},
+             "histograms": {"lat": h.snapshot()}},
+            {"enabled": True, "counters": {}, "gauges": {},
+             "histograms": {"lat": h.snapshot()}},
+        ])
+        assert "samples" not in merged["histograms"]["lat"]
+
+    def test_single_shard_histogram_also_recomputed_and_stripped(self):
+        h = Histogram("lat")
+        for value in (1.0, 2.0, 3.0):
+            h.observe(value)
+        merged = merge_snapshots([
+            {"enabled": True, "counters": {}, "gauges": {},
+             "histograms": {"lat": h.snapshot()}},
+        ])
+        hist = merged["histograms"]["lat"]
+        assert "samples" not in hist
+        assert hist["p50"] == 2.0
+
+    def test_sampleless_contributor_falls_back_to_max_of(self):
+        # Back-compat: a snapshot without a sample buffer poisons the
+        # pool, and the quantiles stay on the conservative estimate.
+        with_samples = {"count": 2, "sum": 3.0, "min": 1.0, "max": 2.0,
+                        "mean": 1.5, "p50": 1.5, "p90": 1.9, "p99": 2.0,
+                        "samples": [1.0, 2.0]}
+        without = {"count": 2, "sum": 18.0, "min": 8.0, "max": 10.0,
+                   "mean": 9.0, "p50": 9.0, "p90": 9.8, "p99": 10.0}
+        merged = merge_snapshots([
+            {"enabled": True, "counters": {}, "gauges": {},
+             "histograms": {"lat": dict(with_samples)}},
+            {"enabled": True, "counters": {}, "gauges": {},
+             "histograms": {"lat": dict(without)}},
+        ])
+        hist = merged["histograms"]["lat"]
+        assert hist["p50"] == 9.0  # max-of, not pooled-exact (≈5.5)
+        assert "samples" not in hist
+
+    def test_oversized_pool_decimates_deterministically(self):
+        snapshots = []
+        for shard in range(3):
+            h = Histogram("lat")
+            for value in range(2000):
+                h.observe(float(shard * 2000 + value))
+            snapshots.append(
+                {"enabled": True, "counters": {}, "gauges": {},
+                 "histograms": {"lat": h.snapshot()}}
+            )
+        first = merge_snapshots([dict(s) for s in snapshots])
+        second = merge_snapshots([dict(s) for s in snapshots])
+        hist = first["histograms"]["lat"]
+        assert hist == second["histograms"]["lat"]  # deterministic
+        assert hist["count"] == 6000
+        # A sane approximation of the 0..5999 ramp despite decimation.
+        assert abs(hist["p50"] - 2999.5) / 2999.5 < 0.1
 
     def test_disabled_snapshots_merge_to_disabled(self):
         merged = merge_snapshots([

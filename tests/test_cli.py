@@ -147,6 +147,119 @@ class TestCliErrors:
         assert "cannot write model" in capsys.readouterr().err
 
 
+class TestCliTracing:
+    def _traced_detect(self, cli_model, tmp_path, extra=()):
+        from repro.obs import get_tracer, set_tracer
+
+        pcap = str(tmp_path / "angler.pcap")
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["synth", pcap, "--kind", "Angler", "--seed", "5"]) == 0
+        previous = get_tracer()
+        try:
+            code = main(["detect", pcap, "--model", cli_model,
+                         "--threshold", "0.5", "--trace-out", trace,
+                         *extra])
+        finally:
+            # --trace swaps the process-wide tracer; put it back.
+            set_tracer(previous)
+        assert code == 1  # the Angler capture alerts
+        return trace
+
+    def test_detect_trace_out_writes_jsonl(self, cli_model, tmp_path):
+        from repro.obs import read_trace
+
+        trace = self._traced_detect(cli_model, tmp_path)
+        events = read_trace(trace)
+        assert events
+        kinds = {event["kind"] for event in events}
+        assert {"watch", "clue", "score", "verdict"} <= kinds
+        alerts = [e for e in events
+                  if e["kind"] == "verdict"
+                  and e["data"]["decision"] == "alert"]
+        assert alerts and all("provenance" in a["data"] for a in alerts)
+
+    def test_sharded_trace_matches_single_process(self, cli_model,
+                                                  tmp_path):
+        from repro.obs import read_trace
+
+        single = self._traced_detect(cli_model, tmp_path)
+        sharded_dir = tmp_path / "sharded"
+        sharded_dir.mkdir()
+        sharded = self._traced_detect(cli_model, sharded_dir,
+                                      extra=("--workers", "2"))
+
+        def canon(path):
+            events = read_trace(path)
+            for event in events:
+                event.pop("mono", None)
+                event["data"].pop("latency_s", None)
+                event["data"].pop("batch", None)
+            return events
+
+        assert canon(sharded) == canon(single)
+
+    def test_explain_walks_alert_provenance(self, cli_model, tmp_path,
+                                            capsys):
+        trace = self._traced_detect(cli_model, tmp_path)
+        capsys.readouterr()
+        assert main(["explain", trace]) == 0
+        out = capsys.readouterr().out
+        assert "alert #0" in out
+        assert "clue chain" in out
+        assert "time to detection" in out
+        assert "wcg at verdict" in out
+        assert "forest vote" in out
+        assert "top decision-path features" in out
+
+    def test_explain_missing_file(self, tmp_path, capsys):
+        assert main(["explain", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "trace file not found" in err
+        assert "Traceback" not in err
+
+    def test_explain_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["explain", str(bad)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_stats_summarizes_snapshots(self, cli_model, tmp_path, capsys):
+        from repro.obs import get_registry, set_registry
+
+        pcap = str(tmp_path / "angler.pcap")
+        stats = str(tmp_path / "stats.jsonl")
+        assert main(["synth", pcap, "--kind", "Angler", "--seed", "5"]) == 0
+        previous = get_registry()
+        try:
+            assert main(["detect", pcap, "--model", cli_model,
+                         "--threshold", "0.5", "--metrics",
+                         "--stats-out", stats]) == 1
+        finally:
+            set_registry(previous)
+        capsys.readouterr()
+        assert main(["stats", stats]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot(s)" in out
+        assert "decode.packets" in out
+        assert "histograms:" in out
+
+    def test_stats_handles_fleet_lines(self, tmp_path, capsys):
+        import json
+
+        stats = tmp_path / "fleet.jsonl"
+        stats.write_text(json.dumps({"fleet": {
+            "enabled": True, "shards": 2,
+            "counters": {"decode.packets": 10},
+            "gauges": {}, "histograms": {},
+        }}) + "\n")
+        assert main(["stats", str(stats)]) == 0
+        assert "decode.packets: 10" in capsys.readouterr().out
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "stats file not found" in capsys.readouterr().err
+
+
 class TestCliMetrics:
     def test_detect_with_metrics_writes_snapshots(self, cli_model, tmp_path):
         from repro.obs import get_registry, read_snapshots, set_registry
